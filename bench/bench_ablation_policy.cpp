@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Ablation bench for the design choices DESIGN.md calls out:
+ *
+ *  1. Congestion litmus: history policy vs the LU-only variant (no BU
+ *     test) — the litmus is what lets the policy scale down *into*
+ *     congestion instead of speeding up links feeding stalled buffers.
+ *  2. EWMA weight W: responsiveness vs stability of the prediction.
+ *  3. History window H: measurement granularity vs reaction lag.
+ *  4. Routing: DOR vs minimal-adaptive under DVS.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/history_policy.hpp"
+
+using namespace dvsnet;
+
+namespace
+{
+
+network::RunResults
+runVariant(const bench::BenchOptions &opts, double rate,
+           const std::function<void(network::ExperimentSpec &)> &tweak)
+{
+    network::ExperimentSpec spec = bench::paperSpec(opts);
+    spec.network.policy = network::PolicyKind::History;
+    tweak(spec);
+    return network::runOnePoint(spec, rate);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = bench::parseOptions(argc, argv);
+    bench::printHeader("Ablations",
+                       "policy design choices (history-based DVS)", opts);
+
+    const double light = opts.raw.getDouble("rate_light", 0.8);
+    const double heavy = opts.raw.getDouble("rate_heavy", 2.6);
+
+    // 1. Congestion litmus.
+    std::printf("\n[1] congestion litmus (BU test) at heavy load "
+                "(%.1f pkt/cycle):\n", heavy);
+    Table t1({"policy", "latency", "throughput", "savings"});
+    for (auto [name, kind] :
+         {std::pair<const char *, network::PolicyKind>{
+              "history (with litmus)", network::PolicyKind::History},
+          {"LU-only (no litmus)", network::PolicyKind::LinkUtilOnly}}) {
+        auto res = runVariant(opts, heavy, [kind](auto &spec) {
+            spec.network.policy = kind;
+        });
+        t1.addRow({name, Table::num(res.avgLatencyCycles, 1),
+                   Table::num(res.throughputPktsPerCycle, 3),
+                   Table::num(res.savingsFactor, 2) + "x"});
+    }
+    bench::printTable(t1, opts);
+
+    // 2. EWMA weight sweep at light load.
+    std::printf("\n[2] EWMA weight W at light load (%.1f pkt/cycle):\n",
+                light);
+    Table t2({"W", "latency", "savings", "transitions/channel"});
+    for (double w : {1.0, 3.0, 7.0, 15.0}) {
+        network::ExperimentSpec spec = bench::paperSpec(opts);
+        spec.network.policy = network::PolicyKind::History;
+        spec.network.policyParams.weight = w;
+        network::Network net(spec.network);
+        traffic::TwoLevelParams wl = spec.workload;
+        wl.networkInjectionRate = light;
+        traffic::TwoLevelWorkload workload(net.topology(), wl);
+        net.attachTraffic(workload);
+        const auto res = net.run(spec.warmup, spec.measure);
+        double transitions = 0.0;
+        for (std::size_t c = 0; c < net.numChannels(); ++c)
+            transitions += static_cast<double>(
+                net.channel(static_cast<ChannelId>(c)).transitions());
+        transitions /= static_cast<double>(net.numChannels());
+        t2.addRow({Table::num(w, 0),
+                   Table::num(res.avgLatencyCycles, 1),
+                   Table::num(res.savingsFactor, 2) + "x",
+                   Table::num(transitions, 1)});
+    }
+    bench::printTable(t2, opts);
+
+    // 3. History window sweep.
+    std::printf("\n[3] history window H at light load:\n");
+    Table t3({"H (cycles)", "latency", "savings"});
+    for (Cycle h : {Cycle{50}, Cycle{200}, Cycle{800}, Cycle{3200}}) {
+        auto res = runVariant(opts, light, [h](auto &spec) {
+            spec.network.policyWindow = h;
+        });
+        t3.addRow({Table::num(static_cast<std::uint64_t>(h)),
+                   Table::num(res.avgLatencyCycles, 1),
+                   Table::num(res.savingsFactor, 2) + "x"});
+    }
+    bench::printTable(t3, opts);
+
+    // 4. Routing under DVS.
+    std::printf("\n[4] routing algorithm under DVS (%.1f pkt/cycle):\n",
+                light);
+    Table t4({"routing", "latency", "throughput", "savings"});
+    for (auto [name, kind] :
+         {std::pair<const char *, network::RoutingKind>{
+              "dimension-order", network::RoutingKind::Dor},
+          {"minimal-adaptive", network::RoutingKind::MinimalAdaptive}}) {
+        auto res = runVariant(opts, light, [kind](auto &spec) {
+            spec.network.routing = kind;
+        });
+        t4.addRow({name, Table::num(res.avgLatencyCycles, 1),
+                   Table::num(res.throughputPktsPerCycle, 3),
+                   Table::num(res.savingsFactor, 2) + "x"});
+    }
+    bench::printTable(t4, opts);
+
+    // 5. Post-transition cooldown (the paper's "DVS interval" remark)
+    //    and the Section 4.4.2 dynamic-threshold extension.
+    std::printf("\n[5] reaction-damping variants at light load:\n");
+    Table t5({"variant", "latency", "throughput", "savings"});
+    for (Cycle cd : {Cycle{0}, Cycle{10}, Cycle{50}}) {
+        auto res = runVariant(opts, light, [cd](auto &spec) {
+            spec.network.policyCooldown = cd;
+        });
+        t5.addRow({"history, cooldown " +
+                       std::to_string(static_cast<unsigned long long>(cd)),
+                   Table::num(res.avgLatencyCycles, 1),
+                   Table::num(res.throughputPktsPerCycle, 3),
+                   Table::num(res.savingsFactor, 2) + "x"});
+    }
+    {
+        auto res = runVariant(opts, light, [](auto &spec) {
+            spec.network.policy = network::PolicyKind::DynamicThreshold;
+        });
+        t5.addRow({"dynamic thresholds (4.4.2)",
+                   Table::num(res.avgLatencyCycles, 1),
+                   Table::num(res.throughputPktsPerCycle, 3),
+                   Table::num(res.savingsFactor, 2) + "x"});
+    }
+    bench::printTable(t5, opts);
+    return 0;
+}

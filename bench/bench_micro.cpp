@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Micro-benchmarks (google-benchmark) for the simulator's hot paths:
+ * event queue, RNG, arbiters/allocators, router cycle step, DVS policy
+ * evaluation, and whole-network simulation throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "core/history_policy.hpp"
+#include "network/network.hpp"
+#include "router/allocator.hpp"
+#include "router/arbiter.hpp"
+#include "router/router.hpp"
+#include "router/routing.hpp"
+#include "sim/event_queue.hpp"
+#include "topo/topology.hpp"
+#include "traffic/pattern_traffic.hpp"
+
+using namespace dvsnet;
+
+namespace
+{
+
+void
+BM_EventQueueScheduleExecute(benchmark::State &state)
+{
+    sim::EventQueue q;
+    const auto depth = static_cast<std::size_t>(state.range(0));
+    Tick t = 0;
+    for (std::size_t i = 0; i < depth; ++i)
+        q.schedule(++t, [] {});
+    for (auto _ : state) {
+        q.schedule(++t, [] {});
+        q.executeNext();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EventQueueScheduleExecute)->Arg(16)->Arg(1024)->Arg(16384);
+
+void
+BM_RngNext(benchmark::State &state)
+{
+    Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_RngNext);
+
+void
+BM_RngPareto(benchmark::State &state)
+{
+    Rng rng(2);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.pareto(100.0, 1.4));
+}
+BENCHMARK(BM_RngPareto);
+
+void
+BM_RoundRobinArbiter(benchmark::State &state)
+{
+    router::RoundRobinArbiter arb(8);
+    std::vector<bool> reqs(8, true);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(arb.arbitrate(reqs));
+}
+BENCHMARK(BM_RoundRobinArbiter);
+
+void
+BM_SwitchAllocator(benchmark::State &state)
+{
+    router::SeparableSwitchAllocator sa(5, 2);
+    const std::vector<router::SwitchRequest> reqs{
+        {0, 0, 1}, {1, 1, 2}, {2, 0, 1}, {3, 1, 4}, {4, 0, 0}};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sa.allocate(reqs));
+}
+BENCHMARK(BM_SwitchAllocator);
+
+void
+BM_DorRoute(benchmark::State &state)
+{
+    const topo::KAryNCube mesh(8, 2, false);
+    const router::DorRouting dor(mesh, 2);
+    std::vector<router::RouteCandidate> cands;
+    NodeId dst = 0;
+    for (auto _ : state) {
+        dor.route(0, mesh.terminalPort(), 0, 1 + (dst++ % 62), cands);
+        benchmark::DoNotOptimize(cands);
+    }
+}
+BENCHMARK(BM_DorRoute);
+
+void
+BM_HistoryPolicyDecide(benchmark::State &state)
+{
+    core::HistoryDvsPolicy policy;
+    core::PolicyInput input;
+    input.level = 5;
+    input.numLevels = 10;
+    double x = 0.0;
+    for (auto _ : state) {
+        input.linkUtil = 0.5 + 0.4 * __builtin_sin(x += 0.1);
+        input.bufferUtil = 0.3;
+        benchmark::DoNotOptimize(policy.decide(input));
+    }
+}
+BENCHMARK(BM_HistoryPolicyDecide);
+
+void
+BM_IdleRouterStep(benchmark::State &state)
+{
+    const topo::KAryNCube mesh(8, 2, false);
+    const router::DorRouting dor(mesh, 2);
+    router::RouterConfig cfg;
+    router::Router r(0, cfg, dor);
+    Tick now = 0;
+    for (auto _ : state)
+        r.step(now += kRouterClockPeriod);
+}
+BENCHMARK(BM_IdleRouterStep);
+
+/** Whole-network simulation throughput: cycles simulated per second. */
+void
+BM_NetworkCyclesPerSecond(benchmark::State &state)
+{
+    network::NetworkConfig cfg;
+    cfg.radix = static_cast<std::int32_t>(state.range(0));
+    cfg.policy = network::PolicyKind::History;
+    network::Network net(cfg);
+    traffic::PatternTraffic traffic(net.topology(),
+                                    traffic::Pattern::UniformRandom,
+                                    0.01, 3);
+    net.attachTraffic(traffic);
+    Cycle horizon = 1000;  // warm the structures
+    net.runUntilCycle(horizon);
+    for (auto _ : state) {
+        horizon += 1000;
+        net.runUntilCycle(horizon);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 1000);
+    state.SetLabel("items = simulated cycles");
+}
+BENCHMARK(BM_NetworkCyclesPerSecond)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,207 @@
+#include "bench_util.hpp"
+
+#include <cstdio>
+
+namespace dvsnet::bench
+{
+
+BenchOptions
+parseOptions(int argc, char **argv)
+{
+    BenchOptions opts;
+    opts.raw = Config::fromArgs(argc, argv);
+    opts.warmup = static_cast<Cycle>(
+        opts.raw.getIntEnv("warmup", static_cast<std::int64_t>(opts.warmup)));
+    opts.lightWarmup = static_cast<Cycle>(
+        opts.raw.getIntEnv("light_warmup",
+                           static_cast<std::int64_t>(opts.lightWarmup)));
+    opts.measure = static_cast<Cycle>(
+        opts.raw.getIntEnv("cycles",
+                           static_cast<std::int64_t>(opts.measure)));
+    opts.seed = static_cast<std::uint64_t>(
+        opts.raw.getIntEnv("seed", static_cast<std::int64_t>(opts.seed)));
+    opts.csv = opts.raw.getBool("csv", false);
+    opts.sweepPoints = opts.raw.getIntEnv("points", opts.sweepPoints);
+    return opts;
+}
+
+network::ExperimentSpec
+paperSpec(const BenchOptions &opts)
+{
+    network::ExperimentSpec spec;
+    // NetworkConfig / RouterConfig / DvsLinkParams defaults already
+    // encode Section 4.2; the workload gets the 100-task defaults.
+    spec.workload.avgConcurrentTasks =
+        static_cast<double>(opts.raw.getInt("tasks", 100));
+    spec.workload.meanTaskDurationCycles =
+        opts.raw.getDouble("task_duration", 1e6);
+    spec.workload.sourcesPerTask =
+        static_cast<std::int32_t>(opts.raw.getInt("sources", 128));
+    spec.workload.seed = opts.seed;
+    spec.warmup = opts.warmup;
+    spec.measure = opts.measure;
+    return spec;
+}
+
+void
+printHeader(const std::string &figure, const std::string &what,
+            const BenchOptions &opts)
+{
+    std::printf("== %s: %s ==\n", figure.c_str(), what.c_str());
+    std::printf("   (warmup=%llu measure=%llu cycles, seed=%llu; paper "
+                "uses 10M-cycle runs — shapes, not absolutes, are the "
+                "reproduction target)\n",
+                static_cast<unsigned long long>(opts.warmup),
+                static_cast<unsigned long long>(opts.measure),
+                static_cast<unsigned long long>(opts.seed));
+}
+
+void
+printTable(const Table &table, const BenchOptions &opts)
+{
+    if (opts.csv)
+        std::fputs(table.toCsv().c_str(), stdout);
+    else
+        std::fputs(table.toText().c_str(), stdout);
+}
+
+std::vector<double>
+defaultRates(const BenchOptions &opts, double lo, double hi)
+{
+    lo = opts.raw.getDouble("rate_lo", lo);
+    hi = opts.raw.getDouble("rate_hi", hi);
+    return network::rateGrid(lo, hi,
+                             static_cast<std::size_t>(opts.sweepPoints));
+}
+
+void
+runDvsComparison(const BenchOptions &opts, double taskCount,
+                 const std::vector<double> &rates)
+{
+    network::ExperimentSpec spec = paperSpec(opts);
+    spec.workload.avgConcurrentTasks = taskCount;
+
+    spec.network.policy = network::PolicyKind::None;
+    const double zeroBase = network::measureZeroLoadLatency(spec);
+    const auto base = network::sweepInjection(spec, rates);
+
+    spec.network.policy = network::PolicyKind::History;
+    const double zeroDvs = network::measureZeroLoadLatency(spec);
+    const auto dvs = network::sweepInjection(spec, rates);
+
+    Table t({"rate", "offered", "lat base", "lat DVS", "thr base",
+             "thr DVS", "norm power", "savings", "avg level"});
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+        const auto &b = base[i].results;
+        const auto &d = dvs[i].results;
+        t.addRow({Table::num(rates[i], 2),
+                  Table::num(d.offeredLoadPktsPerCycle, 2),
+                  Table::num(b.avgLatencyCycles, 1),
+                  Table::num(d.avgLatencyCycles, 1),
+                  Table::num(b.throughputPktsPerCycle, 3),
+                  Table::num(d.throughputPktsPerCycle, 3),
+                  Table::num(d.normalizedPower, 3),
+                  Table::num(d.savingsFactor, 2),
+                  Table::num(d.avgChannelLevel, 2)});
+    }
+    printTable(t, opts);
+
+    const auto cmp = network::compareDvs(base, dvs, zeroBase, zeroDvs);
+    std::printf("\nsummary vs paper (%d tasks):\n",
+                static_cast<int>(taskCount));
+    Table s({"metric", "paper", "measured"});
+    const bool hundred = taskCount >= 99.0;
+    s.addRow({"zero-load latency increase",
+              hundred ? "10.8%" : "(n/a)",
+              Table::num(cmp.zeroLoadIncreasePct, 1) + "%"});
+    s.addRow({"pre-saturation latency increase",
+              hundred ? "15.2%" : "14.7%",
+              Table::num(cmp.preSatLatencyIncreasePct, 1) + "%"});
+    s.addRow({"throughput reduction (2x-zero-load rule)", "< 2.5%",
+              Table::num(cmp.throughputLossPct, 1) + "%"});
+    s.addRow({"delivered-throughput loss at top rate", "-",
+              Table::num(cmp.topRateThroughputLossPct, 1) + "%"});
+    s.addRow({"max power savings", hundred ? "6.3x" : "6.4x",
+              Table::num(cmp.maxSavings, 2) + "x"});
+    s.addRow({"avg power savings (pre-sat)", hundred ? "4.6x" : "4.9x",
+              Table::num(cmp.avgSavings, 2) + "x"});
+    printTable(s, opts);
+}
+
+AllLinksProbe::AllLinksProbe(network::Network &net, Cycle windowCycles)
+{
+    const auto &topo = net.topology();
+    probes_.reserve(topo.channels().size());
+    for (const auto &ch : topo.channels()) {
+        probes_.push_back(std::make_unique<core::TrafficProbe>(
+            net.kernel(), &net.channel(ch.id), &net.router(ch.src),
+            ch.srcPort, &net.router(ch.dst), ch.dstPort, windowCycles));
+    }
+}
+
+void
+AllLinksProbe::start()
+{
+    for (auto &p : probes_)
+        p->start();
+}
+
+const core::TrafficProbe &
+AllLinksProbe::probe(ChannelId id) const
+{
+    return *probes_.at(static_cast<std::size_t>(id));
+}
+
+ChannelId
+AllLinksProbe::hottest() const
+{
+    ChannelId best = 0;
+    double bestLu = -1.0;
+    for (std::size_t i = 0; i < probes_.size(); ++i) {
+        if (probes_[i]->meanLinkUtil() > bestLu) {
+            bestLu = probes_[i]->meanLinkUtil();
+            best = static_cast<ChannelId>(i);
+        }
+    }
+    return best;
+}
+
+ChannelId
+selectTrackedLink(const AllLinksProbe &nearSaturation,
+                  const AllLinksProbe &congested,
+                  std::size_t numChannels)
+{
+    ChannelId best = kInvalidId;
+    double bestDip = 0.0;
+    for (std::size_t c = 0; c < numChannels; ++c) {
+        const auto id = static_cast<ChannelId>(c);
+        const double luC = nearSaturation.probe(id).meanLinkUtil();
+        const double luD = congested.probe(id).meanLinkUtil();
+        const double buD = congested.probe(id).meanBufferUtil();
+        if (luC < 0.35 || buD < 0.5)
+            continue;
+        const double dip = luC - luD;
+        if (dip > bestDip) {
+            bestDip = dip;
+            best = id;
+        }
+    }
+    if (best != kInvalidId)
+        return best;
+
+    // Fallback: most-contended downstream buffer weighted by load.
+    double bestScore = -1.0;
+    best = 0;
+    for (std::size_t c = 0; c < numChannels; ++c) {
+        const auto id = static_cast<ChannelId>(c);
+        const double score = nearSaturation.probe(id).meanLinkUtil() *
+                             congested.probe(id).meanBufferUtil();
+        if (score > bestScore) {
+            bestScore = score;
+            best = id;
+        }
+    }
+    return best;
+}
+
+} // namespace dvsnet::bench

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Shared helpers for the figure/table bench binaries: canonical paper
+ * configuration, fidelity knobs (cycle counts via key=value args or
+ * DVSNET_* environment variables), and uniform output headers.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include <memory>
+
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "core/monitor.hpp"
+#include "network/sweep.hpp"
+
+namespace dvsnet::bench
+{
+
+/** Fidelity/override knobs shared by every bench. */
+struct BenchOptions
+{
+    /** Warm-up for DVS experiments: the level descent/ascent transient
+     *  spans ~110k cycles (9 steps x ~11 us), so power/latency windows
+     *  must start after it. */
+    Cycle warmup = 120000;
+
+    /** Warm-up for measurement-only (non-DVS) runs. */
+    Cycle lightWarmup = 20000;
+
+    Cycle measure = 150000;
+    std::uint64_t seed = 12345;
+    bool csv = false;               ///< emit CSV instead of boxed tables
+    std::int64_t sweepPoints = 8;  ///< points per injection sweep
+    Config raw;
+};
+
+/** Parse key=value args + environment into options. */
+BenchOptions parseOptions(int argc, char **argv);
+
+/**
+ * The paper's Section 4.2 experimental setup: 8x8 mesh, 2 VCs, 128
+ * flits/port, 13-stage pipeline, 5-flit packets, 10-level DVS links
+ * (10 us voltage / 100-cycle frequency transitions), history-based policy
+ * with Table 1 parameters, and the two-level workload (100 tasks, 1 ms
+ * mean duration, 128 ON/OFF sources per task).
+ */
+network::ExperimentSpec paperSpec(const BenchOptions &opts);
+
+/** Print the bench banner: figure id, description, fidelity. */
+void printHeader(const std::string &figure, const std::string &what,
+                 const BenchOptions &opts);
+
+/** Print a table in the selected format. */
+void printTable(const Table &table, const BenchOptions &opts);
+
+/** Default injection-rate grid used by the latency/power sweeps. */
+std::vector<double> defaultRates(const BenchOptions &opts, double lo = 0.2,
+                                 double hi = 2.4);
+
+/**
+ * The Fig. 10/11 experiment: matched no-DVS and history-DVS sweeps over
+ * `rates`, printed as one table, followed by the paper-style summary
+ * (zero-load/pre-saturation latency penalty, throughput loss, power
+ * savings).  `taskCount` selects the 100- vs 50-task variant.
+ */
+void runDvsComparison(const BenchOptions &opts, double taskCount,
+                      const std::vector<double> &rates);
+
+/**
+ * Probes every channel of a network (Figs. 3-5 helper).  The paper
+ * tracks "a link within the 8x8 mesh"; since the two-level workload
+ * places load unevenly, we profile all links and report the hottest —
+ * the one whose utilization dynamics the policy actually has to manage.
+ * Only valid on networks without active DVS controllers (the probes
+ * consume the same measurement windows).
+ */
+class AllLinksProbe
+{
+  public:
+    AllLinksProbe(network::Network &net, Cycle windowCycles);
+
+    /** Begin sampling on every channel. */
+    void start();
+
+    /** Probe for one channel. */
+    const core::TrafficProbe &probe(ChannelId id) const;
+
+    /** Channel with the highest mean link utilization. */
+    ChannelId hottest() const;
+
+  private:
+    std::vector<std::unique_ptr<core::TrafficProbe>> probes_;
+};
+
+/**
+ * Select the Fig. 3-5 tracked link: hot near saturation, and under the
+ * congested load showing the paper's signature — a *lower* LU with a
+ * nearly full downstream buffer (transmission gated by free-buffer
+ * availability).  Falls back to the most-loaded congested link if no
+ * channel exhibits the full signature at this fidelity.
+ */
+ChannelId selectTrackedLink(const AllLinksProbe &nearSaturation,
+                            const AllLinksProbe &congested,
+                            std::size_t numChannels);
+
+} // namespace dvsnet::bench

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * On-chip CMP interconnect scenario (cf. Dally & Towles, "Route packets,
+ * not wires"): a 4x4 mesh connecting 16 tiles, driven by classic
+ * synthetic patterns.  Shows how DVS links behave under spatially
+ * regular traffic and how adaptive routing interacts with the policy.
+ *
+ * Run:  ./onchip_cmp [pattern=transpose] [rate=0.02] [cycles=120000]
+ */
+
+#include <cstdio>
+
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "network/network.hpp"
+#include "traffic/pattern_traffic.hpp"
+
+using namespace dvsnet;
+
+namespace
+{
+
+network::RunResults
+runCase(traffic::Pattern pattern, double rate, Cycle warmup, Cycle cycles,
+        network::PolicyKind policy, network::RoutingKind routing)
+{
+    network::NetworkConfig cfg;
+    cfg.radix = 4;
+    cfg.dims = 2;
+    cfg.policy = policy;
+    cfg.routing = routing;
+
+    network::Network net(cfg);
+    traffic::PatternTraffic traffic(net.topology(), pattern, rate, 7);
+    net.attachTraffic(traffic);
+    return net.run(warmup, cycles);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Config cfg = Config::fromArgs(argc, argv);
+    const auto pattern =
+        traffic::parsePattern(cfg.getString("pattern", "transpose"));
+    const double rate = cfg.getDouble("rate", 0.02);  // per node
+    const auto cycles = static_cast<Cycle>(cfg.getIntEnv("cycles", 120000));
+    const auto warmup = static_cast<Cycle>(cfg.getIntEnv("warmup", 120000));
+
+    std::printf("on-chip CMP scenario: 4x4 mesh, %s traffic, "
+                "%.3f pkt/node/cycle\n\n",
+                traffic::patternName(pattern), rate);
+
+    Table t({"configuration", "latency (cycles)", "throughput (pkt/cyc)",
+             "power (W)", "savings"});
+
+    struct Case
+    {
+        const char *name;
+        network::PolicyKind policy;
+        network::RoutingKind routing;
+    };
+    const Case cases[] = {
+        {"DOR, no DVS", network::PolicyKind::None,
+         network::RoutingKind::Dor},
+        {"DOR, history DVS", network::PolicyKind::History,
+         network::RoutingKind::Dor},
+        {"adaptive, no DVS", network::PolicyKind::None,
+         network::RoutingKind::MinimalAdaptive},
+        {"adaptive, history DVS", network::PolicyKind::History,
+         network::RoutingKind::MinimalAdaptive},
+    };
+
+    for (const auto &c : cases) {
+        const auto res =
+            runCase(pattern, rate, warmup, cycles, c.policy, c.routing);
+        t.addRow({c.name, Table::num(res.avgLatencyCycles, 1),
+                  Table::num(res.throughputPktsPerCycle, 4),
+                  Table::num(res.avgPowerW, 1),
+                  Table::num(res.savingsFactor, 2) + "x"});
+    }
+    std::fputs(t.toText().c_str(), stdout);
+
+    std::printf("\nNotes: adaptive routing spreads permutation traffic "
+                "across minimal paths,\nwhich both lowers baseline "
+                "latency under adversarial patterns and gives the\nDVS "
+                "policy more uniformly-utilized links to scale.\n");
+    return 0;
+}

@@ -1,0 +1,115 @@
+#include "common/config.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+#include "common/fatal.hpp"
+
+namespace dvsnet
+{
+
+Config
+Config::fromArgs(int argc, char **argv)
+{
+    Config cfg;
+    for (int i = 1; i < argc; ++i) {
+        const std::string tok = argv[i];
+        const auto eq = tok.find('=');
+        if (eq == std::string::npos || eq == 0) {
+            DVSNET_FATAL("expected key=value argument, got '", tok, "'");
+        }
+        cfg.set(tok.substr(0, eq), tok.substr(eq + 1));
+    }
+    return cfg;
+}
+
+void
+Config::set(const std::string &key, const std::string &value)
+{
+    values_[key] = value;
+}
+
+bool
+Config::has(const std::string &key) const
+{
+    return values_.count(key) > 0;
+}
+
+std::optional<std::string>
+Config::lookup(const std::string &key) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::string
+Config::getString(const std::string &key, const std::string &def) const
+{
+    return lookup(key).value_or(def);
+}
+
+std::int64_t
+Config::getInt(const std::string &key, std::int64_t def) const
+{
+    auto v = lookup(key);
+    if (!v)
+        return def;
+    char *end = nullptr;
+    const long long parsed = std::strtoll(v->c_str(), &end, 0);
+    if (end == v->c_str() || *end != '\0')
+        DVSNET_FATAL("config key '", key, "': '", *v, "' is not an integer");
+    return parsed;
+}
+
+double
+Config::getDouble(const std::string &key, double def) const
+{
+    auto v = lookup(key);
+    if (!v)
+        return def;
+    char *end = nullptr;
+    const double parsed = std::strtod(v->c_str(), &end);
+    if (end == v->c_str() || *end != '\0')
+        DVSNET_FATAL("config key '", key, "': '", *v, "' is not a number");
+    return parsed;
+}
+
+bool
+Config::getBool(const std::string &key, bool def) const
+{
+    auto v = lookup(key);
+    if (!v)
+        return def;
+    std::string s = *v;
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (s == "1" || s == "true" || s == "yes" || s == "on")
+        return true;
+    if (s == "0" || s == "false" || s == "no" || s == "off")
+        return false;
+    DVSNET_FATAL("config key '", key, "': '", *v, "' is not a boolean");
+}
+
+std::int64_t
+Config::getIntEnv(const std::string &key, std::int64_t def) const
+{
+    if (has(key))
+        return getInt(key, def);
+    std::string envKey = "DVSNET_";
+    for (char c : key)
+        envKey += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    if (const char *env = std::getenv(envKey.c_str())) {
+        char *end = nullptr;
+        const long long parsed = std::strtoll(env, &end, 0);
+        if (end != env && *end == '\0')
+            return parsed;
+        DVSNET_FATAL("environment ", envKey, "='", env,
+                     "' is not an integer");
+    }
+    return def;
+}
+
+} // namespace dvsnet

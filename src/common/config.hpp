@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Tiny typed key=value configuration store.
+ *
+ * Benches and examples accept `key=value` command-line overrides (plus
+ * environment fallbacks such as DVSNET_CYCLES) so the paper's parameter
+ * sweeps can be re-run at different fidelity without recompiling.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace dvsnet
+{
+
+/** String-keyed config with typed accessors and defaults. */
+class Config
+{
+  public:
+    Config() = default;
+
+    /** Parse argv-style `key=value` tokens; unknown formats are fatal. */
+    static Config fromArgs(int argc, char **argv);
+
+    /** Set a value (overwrites). */
+    void set(const std::string &key, const std::string &value);
+
+    /** True if the key is present. */
+    bool has(const std::string &key) const;
+
+    /** Typed getters; fatal on unparsable values. */
+    std::string getString(const std::string &key,
+                          const std::string &def) const;
+    std::int64_t getInt(const std::string &key, std::int64_t def) const;
+    double getDouble(const std::string &key, double def) const;
+    bool getBool(const std::string &key, bool def) const;
+
+    /**
+     * Like getInt but also consults an environment variable (upper-case
+     * key, prefixed DVSNET_) so e.g. DVSNET_CYCLES=500000 scales all
+     * bench fidelity at once.  Priority: explicit key > env > default.
+     */
+    std::int64_t getIntEnv(const std::string &key, std::int64_t def) const;
+
+    /** All keys, for diagnostics. */
+    const std::map<std::string, std::string> &entries() const
+    {
+        return values_;
+    }
+
+  private:
+    std::optional<std::string> lookup(const std::string &key) const;
+
+    std::map<std::string, std::string> values_;
+};
+
+} // namespace dvsnet

@@ -1,0 +1,23 @@
+#include "common/fatal.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dvsnet
+{
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+} // namespace dvsnet

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Error-termination helpers, following the gem5 fatal()/panic() split:
+ * fatal() is for user errors (bad configuration), panic() for internal
+ * invariant violations (simulator bugs).
+ */
+
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dvsnet
+{
+
+/** Print a user-error message and exit(1). */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Print an internal-bug message and abort(). */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+namespace detail
+{
+
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << args);
+    return oss.str();
+}
+
+} // namespace detail
+} // namespace dvsnet
+
+/** Terminate on a user error (bad config, invalid arguments). */
+#define DVSNET_FATAL(...) \
+    ::dvsnet::fatalImpl(__FILE__, __LINE__, ::dvsnet::detail::concat(__VA_ARGS__))
+
+/** Terminate on an internal invariant violation (simulator bug). */
+#define DVSNET_PANIC(...) \
+    ::dvsnet::panicImpl(__FILE__, __LINE__, ::dvsnet::detail::concat(__VA_ARGS__))
+
+/** Panic unless a runtime invariant holds. Always active (not NDEBUG-gated). */
+#define DVSNET_ASSERT(cond, ...)                                            \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::dvsnet::panicImpl(__FILE__, __LINE__,                          \
+                ::dvsnet::detail::concat("assertion failed: " #cond " ",     \
+                                         ##__VA_ARGS__));                    \
+        }                                                                    \
+    } while (0)

@@ -1,0 +1,43 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+#include "common/fatal.hpp"
+
+namespace dvsnet
+{
+
+LogLevel Logger::globalLevel_ = LogLevel::Warn;
+
+LogLevel
+Logger::level()
+{
+    return globalLevel_;
+}
+
+void
+Logger::setLevel(LogLevel level)
+{
+    globalLevel_ = level;
+}
+
+LogLevel
+Logger::parseLevel(const std::string &name)
+{
+    if (name == "error") return LogLevel::Error;
+    if (name == "warn")  return LogLevel::Warn;
+    if (name == "info")  return LogLevel::Info;
+    if (name == "debug") return LogLevel::Debug;
+    if (name == "trace") return LogLevel::Trace;
+    DVSNET_FATAL("unknown log level '", name, "'");
+}
+
+void
+Logger::write(LogLevel level, const std::string &msg)
+{
+    static const char *names[] = {"E", "W", "I", "D", "T"};
+    std::fprintf(stderr, "[%s] %s\n",
+                 names[static_cast<int>(level)], msg.c_str());
+}
+
+} // namespace dvsnet

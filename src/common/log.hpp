@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Minimal leveled logging.  Off by default above Warn so hot simulation
+ * loops pay only a branch; raise the level for debugging runs.
+ */
+
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dvsnet
+{
+
+/** Severity levels, ordered by verbosity. */
+enum class LogLevel
+{
+    Error = 0,
+    Warn  = 1,
+    Info  = 2,
+    Debug = 3,
+    Trace = 4,
+};
+
+/** Global log configuration and sink. */
+class Logger
+{
+  public:
+    /** Current global level; messages above it are dropped. */
+    static LogLevel level();
+
+    /** Set the global level. */
+    static void setLevel(LogLevel level);
+
+    /** Parse a level name ("error", "warn", "info", "debug", "trace"). */
+    static LogLevel parseLevel(const std::string &name);
+
+    /** Emit one message (already filtered by level). */
+    static void write(LogLevel level, const std::string &msg);
+
+  private:
+    static LogLevel globalLevel_;
+};
+
+namespace detail
+{
+
+template <typename... Args>
+void
+logAt(LogLevel level, Args &&...args)
+{
+    if (level <= Logger::level()) {
+        std::ostringstream oss;
+        (oss << ... << args);
+        Logger::write(level, oss.str());
+    }
+}
+
+} // namespace detail
+
+template <typename... Args>
+void
+logError(Args &&...args)
+{
+    detail::logAt(LogLevel::Error, std::forward<Args>(args)...);
+}
+
+template <typename... Args>
+void
+logWarn(Args &&...args)
+{
+    detail::logAt(LogLevel::Warn, std::forward<Args>(args)...);
+}
+
+template <typename... Args>
+void
+logInfo(Args &&...args)
+{
+    detail::logAt(LogLevel::Info, std::forward<Args>(args)...);
+}
+
+template <typename... Args>
+void
+logDebug(Args &&...args)
+{
+    detail::logAt(LogLevel::Debug, std::forward<Args>(args)...);
+}
+
+} // namespace dvsnet

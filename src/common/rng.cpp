@@ -1,0 +1,153 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace dvsnet
+{
+
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+namespace
+{
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    // Expand the seed; xoshiro requires a nonzero state, which splitmix64
+    // guarantees with probability 1 - 2^-256.
+    for (auto &s : s_)
+        s = splitmix64(seed);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 random bits -> double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    DVSNET_ASSERT(lo <= hi, "uniform bounds inverted");
+    return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t
+Rng::uniformInt(std::uint64_t n)
+{
+    DVSNET_ASSERT(n > 0, "uniformInt range must be positive");
+    // Rejection sampling to remove modulo bias.
+    const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % n);
+    std::uint64_t x;
+    do {
+        x = next();
+    } while (x >= limit);
+    return x % n;
+}
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    DVSNET_ASSERT(lo <= hi, "uniformInt bounds inverted");
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(uniformInt(span));
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+double
+Rng::exponential(double mean)
+{
+    DVSNET_ASSERT(mean > 0, "exponential mean must be positive");
+    double u;
+    do {
+        u = uniform();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+}
+
+double
+Rng::pareto(double location, double shape)
+{
+    DVSNET_ASSERT(location > 0 && shape > 0, "invalid Pareto parameters");
+    double u;
+    do {
+        u = uniform();
+    } while (u <= 0.0);
+    // Inverse CDF: x = a * u^(-1/beta) with u ~ U(0,1].
+    return location * std::pow(u, -1.0 / shape);
+}
+
+std::uint64_t
+Rng::poisson(double mean)
+{
+    DVSNET_ASSERT(mean > 0, "poisson mean must be positive");
+    if (mean < 30.0) {
+        // Knuth's product method.
+        const double l = std::exp(-mean);
+        std::uint64_t k = 0;
+        double p = 1.0;
+        do {
+            ++k;
+            p *= uniform();
+        } while (p > l);
+        return k - 1;
+    }
+    // Normal approximation for large means (adequate for workload setup).
+    const double u1 = uniform();
+    const double u2 = uniform();
+    const double z = std::sqrt(-2.0 * std::log(u1 + 1e-300)) *
+                     std::cos(6.283185307179586 * u2);
+    const double x = mean + std::sqrt(mean) * z;
+    return x <= 0.0 ? 0 : static_cast<std::uint64_t>(x + 0.5);
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next());
+}
+
+double
+Rng::paretoLocationForMean(double mean, double shape)
+{
+    DVSNET_ASSERT(shape > 1.0, "Pareto mean finite only for shape > 1");
+    return mean * (shape - 1.0) / shape;
+}
+
+} // namespace dvsnet

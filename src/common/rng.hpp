@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Deterministic random-number generation for the simulator.
+ *
+ * A xoshiro256** engine (seeded via splitmix64) keeps runs reproducible
+ * across platforms, unlike std::mt19937 + std:: distributions whose output
+ * is implementation-defined for some distributions.  The distributions here
+ * are exactly those the paper's workload model needs: uniform (task
+ * durations, rate draws, destinations), exponential/Poisson (task session
+ * arrivals), and Pareto (self-similar ON/OFF periods, Eq. 7).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/fatal.hpp"
+
+namespace dvsnet
+{
+
+/** splitmix64 step, used for seeding and cheap stateless mixing. */
+std::uint64_t splitmix64(std::uint64_t &state);
+
+/**
+ * xoshiro256** pseudo-random engine.
+ *
+ * Small, fast, and with well-studied statistical quality; period 2^256-1.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via splitmix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). Requires lo <= hi. */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). Requires n > 0. */
+    std::uint64_t uniformInt(std::uint64_t n);
+
+    /** Uniform integer in [lo, hi] inclusive. Requires lo <= hi. */
+    std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+    /** Bernoulli trial with success probability p. */
+    bool bernoulli(double p);
+
+    /** Exponential variate with the given mean (> 0). */
+    double exponential(double mean);
+
+    /**
+     * Pareto variate (Eq. 7): location a > 0, shape beta > 0.
+     * CDF F(x) = 1 - (a/x)^beta for x >= a.
+     * Mean = a*beta/(beta-1) when beta > 1, else infinite.
+     */
+    double pareto(double location, double shape);
+
+    /** Poisson variate with the given mean (> 0). */
+    std::uint64_t poisson(double mean);
+
+    /**
+     * Derive an independent child generator.  Each call yields a distinct
+     * stream; used to give every traffic source / module its own RNG.
+     */
+    Rng fork();
+
+    /**
+     * Location parameter of a Pareto distribution with the given shape
+     * (> 1) and mean. Helper for configuring ON/OFF period distributions.
+     */
+    static double paretoLocationForMean(double mean, double shape);
+
+  private:
+    std::uint64_t s_[4];
+};
+
+/** Fisher-Yates shuffle of a vector using the given engine. */
+template <typename T>
+void
+shuffle(std::vector<T> &v, Rng &rng)
+{
+    for (std::size_t i = v.size(); i > 1; --i) {
+        std::size_t j = rng.uniformInt(static_cast<std::uint64_t>(i));
+        std::swap(v[i - 1], v[j]);
+    }
+}
+
+} // namespace dvsnet

@@ -1,0 +1,111 @@
+#include "common/table.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/fatal.hpp"
+
+namespace dvsnet
+{
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    DVSNET_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    DVSNET_ASSERT(cells.size() == headers_.size(),
+                  "row width ", cells.size(), " != header width ",
+                  headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::toText() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto renderRow = [&](const std::vector<std::string> &row) {
+        std::string line = "|";
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            line += " " + row[c] +
+                    std::string(widths[c] - row[c].size(), ' ') + " |";
+        }
+        return line + "\n";
+    };
+
+    std::string rule = "+";
+    for (auto w : widths)
+        rule += std::string(w + 2, '-') + "+";
+    rule += "\n";
+
+    std::string out = rule + renderRow(headers_) + rule;
+    for (const auto &row : rows_)
+        out += renderRow(row);
+    out += rule;
+    return out;
+}
+
+std::string
+Table::toCsv() const
+{
+    auto quote = [](const std::string &s) {
+        if (s.find_first_of(",\"\n") == std::string::npos)
+            return s;
+        std::string q = "\"";
+        for (char ch : s) {
+            if (ch == '"')
+                q += "\"\"";
+            else
+                q += ch;
+        }
+        return q + "\"";
+    };
+
+    std::ostringstream oss;
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        oss << (c ? "," : "") << quote(headers_[c]);
+    oss << "\n";
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            oss << (c ? "," : "") << quote(row[c]);
+        oss << "\n";
+    }
+    return oss.str();
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Table::num(std::uint64_t v)
+{
+    return std::to_string(v);
+}
+
+std::string
+Table::num(std::int64_t v)
+{
+    return std::to_string(v);
+}
+
+std::string
+Table::num(int v)
+{
+    return std::to_string(v);
+}
+
+} // namespace dvsnet

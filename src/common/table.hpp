@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Console table / CSV rendering for benchmark output.  Every bench binary
+ * prints the rows of one paper table or the series of one paper figure
+ * through this writer, so outputs are uniform and machine-parsable.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dvsnet
+{
+
+/** Accumulates rows of string cells and renders aligned text or CSV. */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row of pre-formatted cells (must match header count). */
+    void addRow(std::vector<std::string> cells);
+
+    /** Number of data rows. */
+    std::size_t rows() const { return rows_.size(); }
+
+    /** Render as an aligned, boxed text table. */
+    std::string toText() const;
+
+    /** Render as CSV (header + rows). */
+    std::string toCsv() const;
+
+    /** Format a double with the given precision. */
+    static std::string num(double v, int precision = 3);
+
+    /** Format an integer. */
+    static std::string num(std::uint64_t v);
+    static std::string num(std::int64_t v);
+    static std::string num(int v);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace dvsnet

@@ -1,0 +1,51 @@
+#include "core/monitor.hpp"
+
+#include "common/fatal.hpp"
+
+namespace dvsnet::core
+{
+
+TrafficProbe::TrafficProbe(sim::Kernel &kernel, link::DvsChannel *channel,
+                           router::Router *upstreamRouter, PortId outPort,
+                           router::Router *downstreamRouter, PortId inPort,
+                           Cycle windowCycles, std::size_t histogramBins,
+                           double maxAgeCycles)
+    : kernel_(kernel),
+      channel_(channel),
+      up_(upstreamRouter),
+      outPort_(outPort),
+      down_(downstreamRouter),
+      inPort_(inPort),
+      windowCycles_(windowCycles),
+      luHist_(0.0, 1.0, histogramBins),
+      buHist_(0.0, 1.0, histogramBins),
+      baHist_(0.0, maxAgeCycles, histogramBins)
+{
+    DVSNET_ASSERT(channel_ != nullptr && up_ != nullptr && down_ != nullptr,
+                  "probe needs a channel and both routers");
+    DVSNET_ASSERT(windowCycles > 0, "probe window must be positive");
+}
+
+void
+TrafficProbe::start()
+{
+    kernel_.after(cyclesToTicks(windowCycles_), [this] { sample(); });
+}
+
+void
+TrafficProbe::sample()
+{
+    const Tick now = kernel_.now();
+    ++windows_;
+
+    luHist_.add(channel_->takeUtilizationWindow(now));
+    buHist_.add(up_->takeBufferUtilWindow(outPort_, now));
+
+    const auto [ageSum, departed] = down_->takeBufferAgeWindow(inPort_);
+    if (departed > 0)
+        baHist_.add(ageSum / static_cast<double>(departed));
+
+    kernel_.after(cyclesToTicks(windowCycles_), [this] { sample(); });
+}
+
+} // namespace dvsnet::core

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Traffic-characterization probe (Section 3.1, Figs. 3-5).
+ *
+ * Samples one link every H router cycles and histograms the three
+ * candidate congestion measures the paper studies: link utilization
+ * (Eq. 2), downstream input-buffer utilization (Eq. 3) and input-buffer
+ * age (Eq. 4).  The probe is measurement-only — it never influences the
+ * DVS policy — and is used by the figure benches exactly as the authors
+ * "track the utilization of a link within a two-dimensional 8x8 mesh".
+ *
+ * A probe and an active DVS controller consume the same window counters,
+ * so probes must only be attached to channels without a controller
+ * (i.e. runs with PolicyKind::None), as in Figs. 3-5.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "link/dvs_link.hpp"
+#include "router/router.hpp"
+#include "sim/kernel.hpp"
+
+namespace dvsnet::core
+{
+
+/** Histograms LU / BU / BA for one link across a run. */
+class TrafficProbe
+{
+  public:
+    /**
+     * @param kernel event kernel
+     * @param channel the probed link
+     * @param upstreamRouter router driving the link
+     * @param outPort output port at the upstream router
+     * @param downstreamRouter router the link feeds
+     * @param inPort input port at the downstream router
+     * @param windowCycles sampling window H (Fig. 3 uses 50)
+     * @param histogramBins bins over [0, 1] for LU/BU
+     * @param maxAgeCycles BA histogram upper range
+     */
+    TrafficProbe(sim::Kernel &kernel, link::DvsChannel *channel,
+                 router::Router *upstreamRouter, PortId outPort,
+                 router::Router *downstreamRouter, PortId inPort,
+                 Cycle windowCycles, std::size_t histogramBins = 20,
+                 double maxAgeCycles = 2000.0);
+
+    /** Begin sampling (first window ends `windowCycles` from now). */
+    void start();
+
+    const Histogram &linkUtilHist() const { return luHist_; }
+    const Histogram &bufferUtilHist() const { return buHist_; }
+    const Histogram &bufferAgeHist() const { return baHist_; }
+
+    /** Mean LU across all windows. */
+    double meanLinkUtil() const { return luHist_.mean(); }
+
+    /** Mean BU across all windows. */
+    double meanBufferUtil() const { return buHist_.mean(); }
+
+    /** Mean BA across windows that saw departures (cycles). */
+    double meanBufferAge() const { return baHist_.mean(); }
+
+    std::uint64_t windows() const { return windows_; }
+
+  private:
+    void sample();
+
+    sim::Kernel &kernel_;
+    link::DvsChannel *channel_;
+    router::Router *up_;
+    PortId outPort_;
+    router::Router *down_;
+    PortId inPort_;
+    Cycle windowCycles_;
+    Histogram luHist_;
+    Histogram buHist_;
+    Histogram baHist_;
+    std::uint64_t windows_ = 0;
+};
+
+} // namespace dvsnet::core

@@ -1,0 +1,7 @@
+#include "core/policy.hpp"
+
+// Baseline policies are header-only; this file anchors them in the build.
+
+namespace dvsnet::core
+{
+} // namespace dvsnet::core

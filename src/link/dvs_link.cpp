@@ -1,0 +1,204 @@
+#include "link/dvs_link.hpp"
+
+#include <algorithm>
+
+#include "common/fatal.hpp"
+
+namespace dvsnet::link
+{
+
+DvsChannel::DvsChannel(sim::Kernel &kernel, std::size_t ledgerIndex,
+                       const DvsLevelTable &table,
+                       const DvsLinkParams &params,
+                       power::EnergyLedger *ledger,
+                       power::TransitionEnergyModel energyModel)
+    : kernel_(kernel),
+      ledgerIndex_(ledgerIndex),
+      table_(table),
+      params_(params),
+      ledger_(ledger),
+      energyModel_(energyModel),
+      level_(params.initialLevel),
+      prevLevel_(params.initialLevel)
+{
+    DVSNET_ASSERT(params.initialLevel < table.size(),
+                  "initial level out of range");
+    DVSNET_ASSERT(params.freqTransitionLinkCycles > 0,
+                  "frequency lock must take at least one cycle");
+    const DvsLevel &lvl = table.level(level_);
+    period_ = lvl.period;
+    voltage_ = lvl.voltage;
+    windowStart_ = kernel.now();
+    nextFree_ = kernel.now();
+    setOperatingPower(kernel.now(), voltage_, lvl.frequencyHz);
+}
+
+void
+DvsChannel::connectFlitSink(router::Inbox<router::Flit> *sink)
+{
+    flitSink_ = sink;
+}
+
+void
+DvsChannel::connectCreditSink(router::Inbox<VcId> *sink)
+{
+    creditSink_ = sink;
+}
+
+void
+DvsChannel::setOperatingPower(Tick now, double voltage, double frequencyHz)
+{
+    if (ledger_ == nullptr)
+        return;
+    const double perLink = table_.powerAt(voltage, frequencyHz);
+    ledger_->setChannelPower(
+        ledgerIndex_,
+        perLink * static_cast<double>(params_.linksPerChannel), now);
+}
+
+bool
+DvsChannel::canAccept(Tick earliest) const
+{
+    if (state_ == State::FreqLock)
+        return false;
+    // Accept while the channel is not backed up: the next departure for a
+    // flit ready at `earliest` must begin within one serialization slot.
+    return std::max(nextFree_, earliest) <= earliest + period_;
+}
+
+Tick
+DvsChannel::send(const router::Flit &flit, Tick earliest)
+{
+    DVSNET_ASSERT(state_ != State::FreqLock,
+                  "send on a disabled (locking) link");
+    DVSNET_ASSERT(flitSink_ != nullptr, "flit sink not connected");
+
+    const Tick departure = std::max(nextFree_, earliest);
+    nextFree_ = departure + period_;
+    busyTicks_ += period_;
+    ++flitsSent_;
+
+    // Serialization (one link cycle) + fixed wire propagation.
+    const Tick arrival = departure + period_ + params_.propagationDelay;
+    flitSink_->push(arrival, flit);
+    return departure;
+}
+
+void
+DvsChannel::sendCredit(VcId vc, Tick now)
+{
+    DVSNET_ASSERT(creditSink_ != nullptr, "credit sink not connected");
+    // Sideband: one link cycle of the reverse path plus wire flight;
+    // stalled while the receiver re-locks.
+    const Tick arrival = std::max(now, disabledUntil_) + period_ +
+                         params_.propagationDelay;
+    creditSink_->push(arrival, vc);
+}
+
+bool
+DvsChannel::requestStep(bool faster, Tick now)
+{
+    if (state_ != State::Stable)
+        return false;
+    if (faster && level_ == table_.fastest())
+        return false;
+    if (!faster && level_ == table_.slowest())
+        return false;
+
+    prevLevel_ = level_;
+    level_ = faster ? level_ - 1 : level_ + 1;
+    const DvsLevel &from = table_.level(prevLevel_);
+    const DvsLevel &to = table_.level(level_);
+
+    if (ledger_ != nullptr) {
+        ledger_->addTransitionEnergy(
+            ledgerIndex_,
+            energyModel_.transitionEnergy(from.voltage, to.voltage));
+    }
+
+    if (faster) {
+        // Voltage first (functional at the old frequency, new voltage
+        // drawn from the regulator as it ramps — account at the higher,
+        // i.e. new, voltage), then the frequency lock.
+        state_ = State::VoltRampUp;
+        voltage_ = to.voltage;
+        setOperatingPower(now, to.voltage, from.frequencyHz);
+        kernel_.at(now + params_.voltageTransitionLatency,
+                   [this] { beginFreqLock(kernel_.now()); });
+    } else {
+        // Frequency lock first (link disabled), then the voltage ramp
+        // down (functional; accounted at the old, higher voltage until
+        // the ramp settles).
+        beginFreqLock(now);
+    }
+    return true;
+}
+
+void
+DvsChannel::beginFreqLock(Tick now)
+{
+    const DvsLevel &to = table_.level(level_);
+    state_ = State::FreqLock;
+    period_ = to.period;
+    const Tick lockEnd =
+        now + params_.freqTransitionLinkCycles * to.period;
+    disabledUntil_ = lockEnd;
+    disabledTime_ += lockEnd - now;
+    disabledInWindow_ += lockEnd - now;
+    nextFree_ = std::max(nextFree_, lockEnd);
+    // While locking, the receiver clocks at the new frequency; voltage is
+    // whatever the regulator currently supplies (already-new on the way
+    // up, still-old on the way down).
+    setOperatingPower(now, voltage_, to.frequencyHz);
+
+    const bool wasSpeedup = level_ < prevLevel_;
+    kernel_.at(lockEnd, [this, wasSpeedup] {
+        const Tick t = kernel_.now();
+        const DvsLevel &target = table_.level(level_);
+        if (wasSpeedup) {
+            // Voltage already settled; the transition is complete.
+            state_ = State::Stable;
+            voltage_ = target.voltage;
+            setOperatingPower(t, voltage_, target.frequencyHz);
+            ++transitions_;
+        } else {
+            // Frequency settled; ramp the voltage down.
+            state_ = State::VoltRampDown;
+            setOperatingPower(t, voltage_, target.frequencyHz);
+            kernel_.at(t + params_.voltageTransitionLatency, [this] {
+                const Tick tt = kernel_.now();
+                const DvsLevel &lvl = table_.level(level_);
+                state_ = State::Stable;
+                voltage_ = lvl.voltage;
+                setOperatingPower(tt, voltage_, lvl.frequencyHz);
+                ++transitions_;
+            });
+        }
+    });
+}
+
+double
+DvsChannel::takeUtilizationWindow(Tick now)
+{
+    // Normalize by *enabled* link time: while the receiver is locking
+    // there are no valid link clock cycles, so Eq. 2's denominator (link
+    // clock cycles in the window) must exclude the disabled span —
+    // otherwise every transition injects a spurious near-zero LU sample
+    // that drags the EWMA down and thrashes the policy.
+    const Tick span = now - windowStart_;
+    Tick disabled = disabledInWindow_;
+    if (disabledUntil_ > now)
+        disabled -= disabledUntil_ - now;  // carried into the next window
+    double util = 0.0;
+    if (span > disabled) {
+        util = static_cast<double>(busyTicks_) /
+               static_cast<double>(span - disabled);
+        util = std::min(util, 1.0);
+    }
+    windowStart_ = now;
+    busyTicks_ = 0;
+    disabledInWindow_ = disabledUntil_ > now ? disabledUntil_ - now : 0;
+    return util;
+}
+
+} // namespace dvsnet::link

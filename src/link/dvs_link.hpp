@@ -1,0 +1,177 @@
+/**
+ * @file
+ * DVS channel model (Section 2).
+ *
+ * A channel bundles kLinksPerChannel serial links that share an adaptive
+ * power-supply regulator and are scaled together by the output port's DVS
+ * controller (Fig. 6: "tracking and controlling the multiple links of
+ * that port").  Behavior per the paper:
+ *
+ *  - ten discrete frequency/voltage levels, transitions between
+ *    *adjacent* levels only;
+ *  - speeding up: the voltage ramps first (link functional at the old
+ *    frequency), then the frequency re-locks;
+ *  - slowing down: the frequency re-locks first, then the voltage ramps;
+ *  - the link is functional during voltage ramps but *disabled* while the
+ *    receiver locks to the new clock (frequency transition);
+ *  - voltage ramp latency defaults to 10 us per adjacent step, frequency
+ *    lock to 100 link clock cycles (of the new frequency);
+ *  - each voltage ramp costs (1-eta)*C*|V2^2-V1^2| overhead energy.
+ *
+ * Timing model: a flit occupies the channel for one link clock period
+ * (serialization; the 8 links x 4:1 mux carry one 32-bit flit per link
+ * cycle) and lands in the downstream inbox one further period later
+ * (propagation).  Credits for the reverse flow ride this channel as
+ * sideband and take one period, also stalling during frequency locks —
+ * this is how a slowed link stretches the credit turnaround the paper
+ * points to for throughput degradation.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "link/dvs_level.hpp"
+#include "power/energy_ledger.hpp"
+#include "power/power_model.hpp"
+#include "router/inbox.hpp"
+#include "router/link_iface.hpp"
+#include "sim/kernel.hpp"
+
+namespace dvsnet::link
+{
+
+/** Tunable DVS link characteristics (swept in Figs. 16-17). */
+struct DvsLinkParams
+{
+    /** Voltage ramp latency per adjacent level step (default 10 us). */
+    Tick voltageTransitionLatency = secondsToTicks(10e-6);
+
+    /** Frequency re-lock duration in link clock cycles (new frequency). */
+    Cycle freqTransitionLinkCycles = 100;
+
+    /** Initial operating level (0 = fastest). */
+    std::size_t initialLevel = 0;
+
+    /** Serial links ganged in this channel. */
+    std::size_t linksPerChannel = kLinksPerChannel;
+
+    /**
+     * Wire propagation delay (fixed — physical flight time does not
+     * scale with the link clock; only serialization does).  Default one
+     * router cycle.
+     */
+    Tick propagationDelay = kRouterClockPeriod;
+};
+
+/** One DVS-scaled channel: flit data path + reverse-flow credit sideband. */
+class DvsChannel final : public router::FlitChannel,
+                         public router::CreditChannel
+{
+  public:
+    /** Transition state machine. */
+    enum class State
+    {
+        Stable,        ///< operating at `level()`
+        VoltRampUp,    ///< voltage rising; functional at old frequency
+        FreqLock,      ///< receiver locking; link disabled
+        VoltRampDown,  ///< voltage falling; functional at new frequency
+    };
+
+    /**
+     * @param kernel event kernel for transition scheduling
+     * @param ledgerIndex this channel's slot in the energy ledger
+     * @param table operating-point table (caller-owned, outlives us)
+     * @param params transition characteristics
+     * @param ledger energy ledger (may be nullptr in unit tests)
+     * @param energyModel regulator transition-energy model
+     */
+    DvsChannel(sim::Kernel &kernel, std::size_t ledgerIndex,
+               const DvsLevelTable &table, const DvsLinkParams &params,
+               power::EnergyLedger *ledger,
+               power::TransitionEnergyModel energyModel = {});
+
+    /** Attach the downstream router's flit inbox. */
+    void connectFlitSink(router::Inbox<router::Flit> *sink);
+
+    /** Attach the upstream router's credit inbox (for the reverse flow). */
+    void connectCreditSink(router::Inbox<VcId> *sink);
+
+    // FlitChannel
+    bool canAccept(Tick earliest) const override;
+    Tick send(const router::Flit &flit, Tick earliest) override;
+
+    // CreditChannel
+    void sendCredit(VcId vc, Tick now) override;
+
+    /** Current base level (the target level once a transition completes). */
+    std::size_t level() const { return level_; }
+
+    /** Operating-point table this channel scales over. */
+    const DvsLevelTable &table() const { return table_; }
+
+    /** True when no transition is in progress. */
+    bool stable() const { return state_ == State::Stable; }
+
+    State state() const { return state_; }
+
+    /** Current link clock period. */
+    Tick currentPeriod() const { return period_; }
+
+    /** Current supply voltage (transitions settle at completion). */
+    double currentVoltage() const { return voltage_; }
+
+    /**
+     * Begin a one-step transition (faster = toward level 0).  Returns
+     * false if a transition is already in progress or the channel is at
+     * the boundary level.
+     */
+    bool requestStep(bool faster, Tick now);
+
+    /**
+     * Link-utilization window (Eq. 2): fraction of link time spent
+     * serializing flits since the previous call; resets the window.
+     */
+    double takeUtilizationWindow(Tick now);
+
+    /** Flits sent in total. */
+    std::uint64_t flitsSent() const { return flitsSent_; }
+
+    /** Completed level transitions. */
+    std::uint64_t transitions() const { return transitions_; }
+
+    /** Ticks the channel has spent disabled (frequency locks). */
+    Tick disabledTime() const { return disabledTime_; }
+
+  private:
+    void setOperatingPower(Tick now, double voltage, double frequencyHz);
+    void beginFreqLock(Tick now);
+
+    sim::Kernel &kernel_;
+    std::size_t ledgerIndex_;
+    const DvsLevelTable &table_;
+    DvsLinkParams params_;
+    power::EnergyLedger *ledger_;
+    power::TransitionEnergyModel energyModel_;
+
+    router::Inbox<router::Flit> *flitSink_ = nullptr;
+    router::Inbox<VcId> *creditSink_ = nullptr;
+
+    State state_ = State::Stable;
+    std::size_t level_;         ///< settled level (target during transition)
+    std::size_t prevLevel_;     ///< level before the in-flight transition
+    Tick period_;               ///< operational link period
+    double voltage_;            ///< accounting voltage (ramps settle late)
+    Tick nextFree_ = 0;         ///< serialization availability
+    Tick disabledUntil_ = 0;    ///< end of the current frequency lock
+
+    Tick windowStart_ = 0;
+    Tick busyTicks_ = 0;
+    Tick disabledInWindow_ = 0;  ///< lock time charged to this window
+    std::uint64_t flitsSent_ = 0;
+    std::uint64_t transitions_ = 0;
+    Tick disabledTime_ = 0;
+};
+
+} // namespace dvsnet::link

@@ -1,0 +1,65 @@
+#include "network/metrics.hpp"
+
+#include "common/fatal.hpp"
+
+namespace dvsnet::network
+{
+
+void
+MetricsCollector::onPacketCreated(const router::PacketDesc &pkt)
+{
+    auto [it, inserted] = pending_.emplace(pkt.id, PendingPacket{});
+    DVSNET_ASSERT(inserted, "duplicate packet id ", pkt.id);
+    it->second.inWindow = pkt.created >= windowStart_;
+    if (it->second.inWindow)
+        ++packetsCreated_;
+}
+
+bool
+MetricsCollector::onFlitEjected(const router::Flit &flit, Tick arrival)
+{
+    auto it = pending_.find(flit.packet);
+    DVSNET_ASSERT(it != pending_.end(),
+                  "ejected flit of unknown packet ", flit.packet);
+    DVSNET_ASSERT(flit.seq == it->second.nextSeq,
+                  "flit reorder in packet ", flit.packet, ": got seq ",
+                  flit.seq, " expected ", it->second.nextSeq);
+    ++it->second.nextSeq;
+    lastEjection_ = arrival;
+
+    if (arrival >= windowStart_)
+        ++flitsEjected_;
+
+    if (!flit.isTail())
+        return false;
+
+    DVSNET_ASSERT(it->second.nextSeq == flit.packetLen,
+                  "packet ", flit.packet, " ejected short");
+    if (arrival >= windowStart_)
+        ++packetsEjected_;
+    const bool counted = it->second.inWindow;
+    if (counted) {
+        ++packetsDelivered_;
+        const double latencyCycles =
+            static_cast<double>(arrival - flit.created) /
+            static_cast<double>(kRouterClockPeriod);
+        latency_.add(latencyCycles);
+    }
+    pending_.erase(it);
+    return counted;
+}
+
+void
+MetricsCollector::beginWindow(Tick now)
+{
+    windowStart_ = now;
+    packetsCreated_ = 0;
+    packetsDelivered_ = 0;
+    packetsEjected_ = 0;
+    flitsEjected_ = 0;
+    latency_.reset();
+    for (auto &entry : pending_)
+        entry.second.inWindow = false;
+}
+
+} // namespace dvsnet::network

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Measurement plane: per-packet latency, delivery integrity, throughput.
+ *
+ * Latency follows the paper's definition (Section 4.2): "creation of the
+ * first flit of the packet to ejection of its last flit at the
+ * destination router, including source queuing time and assuming
+ * immediate ejection".  Only packets created inside the measurement
+ * window contribute to latency; throughput counts all ejections inside
+ * the window.  The collector also verifies no flit is lost, duplicated
+ * or reordered within its packet.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "router/flit.hpp"
+
+namespace dvsnet::network
+{
+
+/** End-of-run summary. */
+struct RunResults
+{
+    Cycle measuredCycles = 0;
+    std::uint64_t packetsCreated = 0;     ///< in window
+    std::uint64_t packetsDelivered = 0;   ///< created in window & delivered
+    std::uint64_t flitsEjected = 0;       ///< in window
+    double offeredLoadPktsPerCycle = 0.0;
+    double throughputPktsPerCycle = 0.0;
+    double throughputFlitsPerCycle = 0.0;
+    double avgLatencyCycles = 0.0;
+    double maxLatencyCycles = 0.0;
+    double avgPowerW = 0.0;
+    double normalizedPower = 1.0;  ///< vs all-links-at-max
+    double savingsFactor = 1.0;    ///< reference / measured (paper's "X")
+    double transitionEnergyJ = 0.0;
+    double avgChannelLevel = 0.0;  ///< mean DVS level at run end
+};
+
+/** Collects packet lifecycle events. */
+class MetricsCollector
+{
+  public:
+    /** Record a packet entering its source queue. */
+    void onPacketCreated(const router::PacketDesc &pkt);
+
+    /**
+     * Record a flit ejected at its destination at `arrival`.
+     * Verifies in-packet ordering; returns true if this completed a
+     * packet (tail of a fully delivered packet).
+     */
+    bool onFlitEjected(const router::Flit &flit, Tick arrival);
+
+    /** Restart the measurement window at `now`. */
+    void beginWindow(Tick now);
+
+    /** Packets created since the window began. */
+    std::uint64_t packetsCreated() const { return packetsCreated_; }
+
+    /** Window packets fully delivered. */
+    std::uint64_t packetsDelivered() const { return packetsDelivered_; }
+
+    /** Flits ejected since the window began. */
+    std::uint64_t flitsEjected() const { return flitsEjected_; }
+
+    /** Packets ejected since the window began (any creation time). */
+    std::uint64_t packetsEjected() const { return packetsEjected_; }
+
+    /** Latency of window-created, delivered packets (cycles). */
+    const RunningStat &latency() const { return latency_; }
+
+    /** Packets currently in flight (created, not fully ejected). */
+    std::size_t inFlight() const { return pending_.size(); }
+
+    /** Tick of the most recent ejection (stall detection). */
+    Tick lastEjection() const { return lastEjection_; }
+
+  private:
+    struct PendingPacket
+    {
+        std::uint16_t nextSeq = 0;
+        bool inWindow = false;
+    };
+
+    std::unordered_map<router::PacketId, PendingPacket> pending_;
+    RunningStat latency_;
+    Tick windowStart_ = 0;
+    std::uint64_t packetsCreated_ = 0;
+    std::uint64_t packetsDelivered_ = 0;
+    std::uint64_t packetsEjected_ = 0;
+    std::uint64_t flitsEjected_ = 0;
+    Tick lastEjection_ = 0;
+};
+
+} // namespace dvsnet::network

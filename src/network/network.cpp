@@ -1,0 +1,358 @@
+#include "network/network.hpp"
+
+#include <algorithm>
+
+#include "common/fatal.hpp"
+
+namespace dvsnet::network
+{
+
+Network::Network(const NetworkConfig &config)
+    : config_(config),
+      topo_(config.radix, config.dims, config.torus),
+      levels_(link::DvsLevelTable::standard10())
+{
+    config_.router.numPorts = topo_.numPorts();
+    build();
+}
+
+void
+Network::build()
+{
+    // Routing.
+    switch (config_.routing) {
+      case RoutingKind::Dor:
+        routing_ = std::make_unique<router::DorRouting>(
+            topo_, config_.router.numVcs);
+        break;
+      case RoutingKind::MinimalAdaptive:
+        routing_ = std::make_unique<router::MinimalAdaptiveRouting>(
+            topo_, config_.router.numVcs);
+        break;
+    }
+
+    // Energy ledger: reference = every channel pinned at the fastest
+    // level (the paper's non-DVS network).
+    const double channelRefW =
+        levels_.level(levels_.fastest()).powerW *
+        static_cast<double>(config_.link.linksPerChannel);
+    ledger_ = std::make_unique<power::EnergyLedger>(
+        topo_.channels().size(), channelRefW);
+
+    // Routers + terminals.
+    const auto perVcCapacity =
+        config_.router.bufferPerPort /
+        static_cast<std::size_t>(config_.router.numVcs);
+    routers_.reserve(static_cast<std::size_t>(topo_.numNodes()));
+    sinks_.reserve(static_cast<std::size_t>(topo_.numNodes()));
+    sources_.resize(static_cast<std::size_t>(topo_.numNodes()));
+    for (NodeId n = 0; n < topo_.numNodes(); ++n) {
+        routers_.push_back(std::make_unique<router::Router>(
+            n, config_.router, *routing_));
+        sinks_.push_back(std::make_unique<EjectionSink>(*this));
+        // The terminal output port drains into the node: effectively
+        // infinite buffering ("immediate ejection").
+        routers_.back()->connectOutput(topo_.terminalPort(),
+                                       sinks_.back().get(),
+                                       std::size_t{1} << 20);
+    }
+
+    // DVS channels.
+    channels_.reserve(topo_.channels().size());
+    for (const auto &ch : topo_.channels()) {
+        auto channel = std::make_unique<link::DvsChannel>(
+            kernel_, static_cast<std::size_t>(ch.id), levels_,
+            config_.link, ledger_.get());
+        channel->connectFlitSink(
+            &routers_[static_cast<std::size_t>(ch.dst)]->flitInbox(
+                ch.dstPort));
+        routers_[static_cast<std::size_t>(ch.src)]->connectOutput(
+            ch.srcPort, channel.get(), perVcCapacity);
+        channels_.push_back(std::move(channel));
+    }
+
+    // Credit paths: credits for channel C ride the reverse channel and
+    // land at C.src's output-port credit inbox.
+    for (const auto &ch : topo_.channels()) {
+        const ChannelId rev = topo_.reverseChannel(ch.id);
+        channels_[static_cast<std::size_t>(rev)]->connectCreditSink(
+            &routers_[static_cast<std::size_t>(ch.src)]->creditInbox(
+                ch.srcPort));
+        routers_[static_cast<std::size_t>(ch.dst)]->connectCreditReturn(
+            ch.dstPort, channels_[static_cast<std::size_t>(rev)].get());
+    }
+
+    // DVS controllers, one per channel (Fig. 6: at each output port).
+    controllers_.resize(channels_.size());
+    if (config_.policy != PolicyKind::None) {
+        for (const auto &ch : topo_.channels()) {
+            auto controller = std::make_unique<core::PortDvsController>(
+                kernel_, channels_[static_cast<std::size_t>(ch.id)].get(),
+                routers_[static_cast<std::size_t>(ch.src)].get(),
+                ch.srcPort, makePolicy(), config_.policyWindow,
+                config_.policyCooldown);
+            controller->start();
+            controllers_[static_cast<std::size_t>(ch.id)] =
+                std::move(controller);
+        }
+    }
+}
+
+std::unique_ptr<core::DvsPolicy>
+Network::makePolicy() const
+{
+    switch (config_.policy) {
+      case PolicyKind::History:
+        return std::make_unique<core::HistoryDvsPolicy>(
+            config_.policyParams);
+      case PolicyKind::LinkUtilOnly:
+        return std::make_unique<core::LinkUtilOnlyPolicy>(
+            config_.policyParams);
+      case PolicyKind::StaticLevel:
+        return std::make_unique<core::StaticLevelPolicy>(
+            config_.staticLevel);
+      case PolicyKind::DynamicThreshold: {
+        core::DynamicThresholdParams params;
+        params.base = config_.policyParams;
+        return std::make_unique<core::DynamicThresholdPolicy>(params);
+      }
+      case PolicyKind::None:
+        break;
+    }
+    DVSNET_PANIC("no policy to create");
+}
+
+void
+Network::attachTraffic(traffic::TrafficGenerator &generator)
+{
+    generator.start(kernel_, [this](NodeId src, NodeId dst) {
+        injectPacket(src, dst);
+    });
+}
+
+void
+Network::injectPacket(NodeId src, NodeId dst)
+{
+    DVSNET_ASSERT(src >= 0 && src < topo_.numNodes(), "bad source");
+    DVSNET_ASSERT(dst >= 0 && dst < topo_.numNodes(), "bad destination");
+    DVSNET_ASSERT(src != dst, "self-addressed packet");
+
+    router::PacketDesc desc;
+    desc.id = nextPacketId_++;
+    desc.src = src;
+    desc.dst = dst;
+    desc.length = config_.packetLength;
+    desc.created = kernel_.now();
+
+    auto &state = sources_[static_cast<std::size_t>(src)];
+    state.queue.push_back(desc);
+    ++state.created;
+    metrics_.onPacketCreated(desc);
+}
+
+void
+Network::startStepping()
+{
+    if (stepping_)
+        return;
+    stepping_ = true;
+    const Tick first = routerClockEdgeAfterNow();
+    kernel_.at(first, [this] { stepCycle(); });
+}
+
+Tick
+Network::routerClockEdgeAfterNow() const
+{
+    const Tick now = kernel_.now();
+    const Tick rem = now % kRouterClockPeriod;
+    return now + (kRouterClockPeriod - rem);
+}
+
+void
+Network::stepCycle()
+{
+    const Tick now = kernel_.now();
+    for (NodeId n = 0; n < topo_.numNodes(); ++n)
+        injectFromQueue(n);
+    for (auto &r : routers_)
+        r->step(now);
+    kernel_.at(now + kRouterClockPeriod, [this] { stepCycle(); });
+}
+
+void
+Network::injectFromQueue(NodeId node)
+{
+    auto &state = sources_[static_cast<std::size_t>(node)];
+    if (state.queue.empty())
+        return;
+
+    auto &r = *routers_[static_cast<std::size_t>(node)];
+    const router::PacketDesc &desc = state.queue.front();
+
+    if (state.nextSeq == 0) {
+        // Choose the terminal VC with the most space for the new packet.
+        VcId best = kInvalidId;
+        std::size_t bestFree = 0;
+        for (VcId v = 0; v < config_.router.numVcs; ++v) {
+            const std::size_t free = r.terminalFreeSlots(v);
+            if (free > bestFree) {
+                bestFree = free;
+                best = v;
+            }
+        }
+        if (best == kInvalidId)
+            return;  // terminal buffers full; retry next cycle
+        state.vc = best;
+    } else if (r.terminalFreeSlots(state.vc) == 0) {
+        return;  // mid-packet backpressure
+    }
+
+    router::Flit flit;
+    flit.packet = desc.id;
+    flit.src = desc.src;
+    flit.dst = desc.dst;
+    flit.seq = state.nextSeq;
+    flit.packetLen = desc.length;
+    flit.created = desc.created;
+    flit.vc = state.vc;
+
+    r.flitInbox(topo_.terminalPort()).push(kernel_.now(), flit);
+
+    if (++state.nextSeq == desc.length) {
+        state.queue.pop_front();
+        state.nextSeq = 0;
+    }
+}
+
+void
+Network::onFlitEjected(const router::Flit &flit, Tick arrival)
+{
+    metrics_.onFlitEjected(flit, arrival);
+}
+
+void
+Network::runUntilCycle(Cycle cycle)
+{
+    startStepping();
+    kernel_.run(cyclesToTicks(cycle));
+}
+
+void
+Network::beginMeasurement()
+{
+    metrics_.beginWindow(kernel_.now());
+    ledger_->beginWindow(kernel_.now());
+    measureStartCycle_ = currentCycle();
+}
+
+RunResults
+Network::run(Cycle warmup, Cycle measure)
+{
+    const Cycle start = currentCycle();
+    runUntilCycle(start + warmup);
+    beginMeasurement();
+    runUntilCycle(start + warmup + measure);
+    return collect();
+}
+
+RunResults
+Network::collect() const
+{
+    RunResults res;
+    const Tick now = kernel_.now();
+    res.measuredCycles = ticksToCycles(now) - measureStartCycle_;
+    DVSNET_ASSERT(res.measuredCycles > 0, "empty measurement window");
+    const auto cycles = static_cast<double>(res.measuredCycles);
+
+    res.packetsCreated = metrics_.packetsCreated();
+    res.packetsDelivered = metrics_.packetsDelivered();
+    res.flitsEjected = metrics_.flitsEjected();
+    res.offeredLoadPktsPerCycle =
+        static_cast<double>(res.packetsCreated) / cycles;
+    res.throughputPktsPerCycle =
+        static_cast<double>(metrics_.packetsEjected()) / cycles;
+    res.throughputFlitsPerCycle =
+        static_cast<double>(res.flitsEjected) / cycles;
+    res.avgLatencyCycles = metrics_.latency().mean();
+    res.maxLatencyCycles = metrics_.latency().max();
+    res.avgPowerW = ledger_->averagePower(now);
+    res.normalizedPower = ledger_->normalizedPower(now);
+    res.savingsFactor = ledger_->savingsFactor(now);
+    res.transitionEnergyJ = ledger_->totalTransitionEnergy();
+    res.avgChannelLevel = averageChannelLevel();
+    return res;
+}
+
+router::Router &
+Network::router(NodeId node)
+{
+    return *routers_.at(static_cast<std::size_t>(node));
+}
+
+link::DvsChannel &
+Network::channel(ChannelId id)
+{
+    return *channels_.at(static_cast<std::size_t>(id));
+}
+
+core::PortDvsController *
+Network::controller(ChannelId id)
+{
+    return controllers_.at(static_cast<std::size_t>(id)).get();
+}
+
+std::uint64_t
+Network::packetsCreatedAt(NodeId node) const
+{
+    return sources_.at(static_cast<std::size_t>(node)).created;
+}
+
+std::size_t
+Network::sourceQueueDepth(NodeId node) const
+{
+    return sources_.at(static_cast<std::size_t>(node)).queue.size();
+}
+
+void
+Network::verifyFlowControlInvariants() const
+{
+    const auto perVcCapacity =
+        config_.router.bufferPerPort /
+        static_cast<std::size_t>(config_.router.numVcs);
+    const auto portCapacity =
+        perVcCapacity * static_cast<std::size_t>(config_.router.numVcs);
+
+    for (const auto &ch : topo_.channels()) {
+        auto &up = *routers_[static_cast<std::size_t>(ch.src)];
+        auto &down = *routers_[static_cast<std::size_t>(ch.dst)];
+
+        std::size_t credits = 0;
+        for (VcId v = 0; v < config_.router.numVcs; ++v)
+            credits += up.creditCount(ch.srcPort, v);
+        const std::size_t buffered = down.bufferOccupancy(ch.dstPort);
+        const std::size_t flitsInFlight =
+            down.flitInbox(ch.dstPort).size();
+        const std::size_t creditsInFlight =
+            up.creditInbox(ch.srcPort).size();
+
+        const std::size_t total =
+            credits + buffered + flitsInFlight + creditsInFlight;
+        DVSNET_ASSERT(total == portCapacity,
+                      "credit conservation violated on channel ", ch.id,
+                      ": credits=", credits, " buffered=", buffered,
+                      " flits-in-flight=", flitsInFlight,
+                      " credits-in-flight=", creditsInFlight,
+                      " capacity=", portCapacity);
+    }
+}
+
+double
+Network::averageChannelLevel() const
+{
+    double sum = 0.0;
+    for (const auto &ch : channels_)
+        sum += static_cast<double>(ch->level());
+    return sum / static_cast<double>(channels_.size());
+}
+
+} // namespace dvsnet::network

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Network assembly: topology + routers + DVS channels + controllers +
+ * injection/ejection terminals + energy ledger, driven by a synchronous
+ * 1 GHz router-core step on top of the event kernel (links and policy
+ * controllers schedule their own events at their own clocks, per the
+ * paper's separate-clock-domain model).
+ */
+
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/controller.hpp"
+#include "core/dynamic_threshold.hpp"
+#include "core/history_policy.hpp"
+#include "core/policy.hpp"
+#include "link/dvs_level.hpp"
+#include "link/dvs_link.hpp"
+#include "network/metrics.hpp"
+#include "power/energy_ledger.hpp"
+#include "router/router.hpp"
+#include "router/routing.hpp"
+#include "sim/kernel.hpp"
+#include "topo/topology.hpp"
+#include "traffic/traffic.hpp"
+
+namespace dvsnet::network
+{
+
+/** Which policy drives the DVS controllers. */
+enum class PolicyKind
+{
+    None,         ///< no controllers; links pinned at their initial level
+    History,      ///< the paper's Algorithm 1
+    LinkUtilOnly, ///< ablation: Algorithm 1 without the congestion litmus
+    StaticLevel,  ///< drive all links to a fixed level
+    DynamicThreshold,  ///< Section 4.4.2 extension: self-tuning TL bank
+};
+
+/** Routing selection. */
+enum class RoutingKind
+{
+    Dor,
+    MinimalAdaptive,
+};
+
+/** Full network configuration (defaults = the paper's Section 4.2). */
+struct NetworkConfig
+{
+    std::int32_t radix = 8;
+    std::int32_t dims = 2;
+    bool torus = false;
+
+    router::RouterConfig router;  ///< numPorts is derived from topology
+
+    link::DvsLinkParams link;
+
+    PolicyKind policy = PolicyKind::History;
+    core::HistoryDvsParams policyParams;
+    Cycle policyWindow = 200;     ///< H (Table 1)
+    Cycle policyCooldown = 0;     ///< post-transition hold, in windows
+    std::size_t staticLevel = 0;  ///< for PolicyKind::StaticLevel
+
+    RoutingKind routing = RoutingKind::Dor;
+
+    std::uint16_t packetLength = 5;  ///< flits per packet
+};
+
+/** The simulated interconnection network. */
+class Network
+{
+  public:
+    explicit Network(const NetworkConfig &config);
+
+    /** The event kernel (shared with traffic generators and probes). */
+    sim::Kernel &kernel() { return kernel_; }
+
+    const topo::KAryNCube &topology() const { return topo_; }
+
+    const NetworkConfig &config() const { return config_; }
+
+    /** Attach and start a traffic generator. */
+    void attachTraffic(traffic::TrafficGenerator &generator);
+
+    /** Create one packet at `src` bound for `dst` (enters source queue). */
+    void injectPacket(NodeId src, NodeId dst);
+
+    /**
+     * Run the standard experiment: `warmup` cycles, then reset all
+     * measurement windows and run `measure` cycles.  The per-cycle step
+     * chain is started on first use.
+     */
+    RunResults run(Cycle warmup, Cycle measure);
+
+    /** Advance the simulation to an absolute cycle (step chain active). */
+    void runUntilCycle(Cycle cycle);
+
+    /** Reset all measurement windows at the current instant. */
+    void beginMeasurement();
+
+    /** Summarize the window ending now. */
+    RunResults collect() const;
+
+    // --- component access for probes, benches and tests ---
+
+    router::Router &router(NodeId node);
+    link::DvsChannel &channel(ChannelId id);
+    std::size_t numChannels() const { return channels_.size(); }
+    power::EnergyLedger &ledger() { return *ledger_; }
+    MetricsCollector &metrics() { return metrics_; }
+    const link::DvsLevelTable &levelTable() const { return levels_; }
+
+    /** Controller for channel `id`; nullptr when policy == None. */
+    core::PortDvsController *controller(ChannelId id);
+
+    /** Packets created at `node` since construction (Figs. 8-9). */
+    std::uint64_t packetsCreatedAt(NodeId node) const;
+
+    /** Flits waiting in `node`'s source queue. */
+    std::size_t sourceQueueDepth(NodeId node) const;
+
+    /** Mean DVS level across channels right now. */
+    double averageChannelLevel() const;
+
+    /** Current cycle number. */
+    Cycle currentCycle() const { return ticksToCycles(kernel_.now()); }
+
+    /**
+     * Verify credit conservation on every channel: upstream credits +
+     * downstream buffer occupancy + flits and credits in flight equal
+     * the downstream buffer capacity.  Panics on violation; used by the
+     * test suite as a whole-network flow-control invariant.
+     */
+    void verifyFlowControlInvariants() const;
+
+  private:
+    /** Terminal output: absorbs flits and reports them to the metrics. */
+    class EjectionSink final : public router::FlitChannel
+    {
+      public:
+        EjectionSink(Network &net) : net_(net) {}
+
+        bool canAccept(Tick) const override { return true; }
+
+        Tick
+        send(const router::Flit &flit, Tick earliest) override
+        {
+            // Immediate ejection: one cycle to leave the router.
+            net_.onFlitEjected(flit, earliest + kRouterClockPeriod);
+            return earliest;
+        }
+
+      private:
+        Network &net_;
+    };
+
+    struct SourceState
+    {
+        std::deque<router::PacketDesc> queue;
+        std::uint16_t nextSeq = 0;  ///< within queue.front()
+        VcId vc = kInvalidId;       ///< terminal VC of the packet in flight
+        std::uint64_t created = 0;  ///< total packets generated here
+    };
+
+    void build();
+    void startStepping();
+    Tick routerClockEdgeAfterNow() const;
+    void stepCycle();
+    void injectFromQueue(NodeId node);
+    void onFlitEjected(const router::Flit &flit, Tick arrival);
+    std::unique_ptr<core::DvsPolicy> makePolicy() const;
+
+    NetworkConfig config_;
+    topo::KAryNCube topo_;
+    sim::Kernel kernel_;
+    link::DvsLevelTable levels_;
+    std::unique_ptr<power::EnergyLedger> ledger_;
+    std::unique_ptr<router::RoutingAlgorithm> routing_;
+    std::vector<std::unique_ptr<router::Router>> routers_;
+    std::vector<std::unique_ptr<link::DvsChannel>> channels_;
+    std::vector<std::unique_ptr<core::PortDvsController>> controllers_;
+    std::vector<std::unique_ptr<EjectionSink>> sinks_;
+    std::vector<SourceState> sources_;
+    MetricsCollector metrics_;
+    router::PacketId nextPacketId_ = 1;
+    bool stepping_ = false;
+    Cycle measureStartCycle_ = 0;
+};
+
+} // namespace dvsnet::network

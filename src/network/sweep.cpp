@@ -1,0 +1,125 @@
+#include "network/sweep.hpp"
+
+#include <algorithm>
+
+#include "common/fatal.hpp"
+
+namespace dvsnet::network
+{
+
+RunResults
+runOnePoint(const ExperimentSpec &spec, double injectionRate)
+{
+    DVSNET_ASSERT(injectionRate > 0, "injection rate must be positive");
+    Network net(spec.network);
+    traffic::TwoLevelParams wl = spec.workload;
+    wl.networkInjectionRate = injectionRate;
+    traffic::TwoLevelWorkload workload(net.topology(), wl);
+    net.attachTraffic(workload);
+    return net.run(spec.warmup, spec.measure);
+}
+
+std::vector<SweepPoint>
+sweepInjection(const ExperimentSpec &spec, const std::vector<double> &rates)
+{
+    std::vector<SweepPoint> series;
+    series.reserve(rates.size());
+    for (double rate : rates)
+        series.push_back({rate, runOnePoint(spec, rate)});
+    return series;
+}
+
+std::vector<double>
+rateGrid(double lo, double hi, std::size_t n)
+{
+    DVSNET_ASSERT(n >= 2 && hi > lo && lo > 0, "bad rate grid");
+    std::vector<double> rates(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        rates[i] = lo + (hi - lo) * static_cast<double>(i) /
+                                    static_cast<double>(n - 1);
+    }
+    return rates;
+}
+
+double
+measureZeroLoadLatency(const ExperimentSpec &spec)
+{
+    // Low enough that queueing is negligible, high enough that the
+    // window still sees a few hundred packets.
+    const RunResults res = runOnePoint(spec, 0.05);
+    DVSNET_ASSERT(res.packetsDelivered > 0,
+                  "zero-load run delivered nothing");
+    return res.avgLatencyCycles;
+}
+
+double
+saturationThroughput(const std::vector<SweepPoint> &series,
+                     double zeroLoadLatency)
+{
+    DVSNET_ASSERT(!series.empty(), "empty sweep");
+    const double limit = 2.0 * zeroLoadLatency;
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        if (series[i].results.avgLatencyCycles > limit) {
+            if (i == 0)
+                return series[0].results.throughputPktsPerCycle;
+            // Interpolate throughput between the bracketing points on
+            // the latency axis.
+            const auto &lo = series[i - 1].results;
+            const auto &hi = series[i].results;
+            const double t =
+                (limit - lo.avgLatencyCycles) /
+                (hi.avgLatencyCycles - lo.avgLatencyCycles);
+            return lo.throughputPktsPerCycle +
+                   t * (hi.throughputPktsPerCycle -
+                        lo.throughputPktsPerCycle);
+        }
+    }
+    return series.back().results.throughputPktsPerCycle;
+}
+
+DvsComparison
+compareDvs(const std::vector<SweepPoint> &baseline,
+           const std::vector<SweepPoint> &dvs, double zeroLoadBase,
+           double zeroLoadDvs)
+{
+    DVSNET_ASSERT(baseline.size() == dvs.size() && !baseline.empty(),
+                  "sweeps must be matched");
+
+    DvsComparison cmp;
+    cmp.zeroLoadBase = zeroLoadBase;
+    cmp.zeroLoadDvs = zeroLoadDvs;
+    cmp.zeroLoadIncreasePct =
+        (zeroLoadDvs / zeroLoadBase - 1.0) * 100.0;
+    cmp.saturationBase = saturationThroughput(baseline, zeroLoadBase);
+    cmp.saturationDvs = saturationThroughput(dvs, zeroLoadDvs);
+    cmp.throughputLossPct =
+        (1.0 - cmp.saturationDvs / cmp.saturationBase) * 100.0;
+    cmp.topRateThroughputLossPct =
+        (1.0 - dvs.back().results.throughputPktsPerCycle /
+                   baseline.back().results.throughputPktsPerCycle) *
+        100.0;
+
+    // Pre-saturation averages: points where the *baseline* latency is
+    // still below twice its zero-load value.
+    double latencyRatioSum = 0.0;
+    double savingsSum = 0.0;
+    std::size_t preSat = 0;
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+        const auto &b = baseline[i].results;
+        const auto &d = dvs[i].results;
+        if (b.avgLatencyCycles > 2.0 * zeroLoadBase)
+            break;
+        latencyRatioSum += d.avgLatencyCycles / b.avgLatencyCycles;
+        savingsSum += d.savingsFactor;
+        cmp.maxSavings = std::max(cmp.maxSavings, d.savingsFactor);
+        ++preSat;
+    }
+    if (preSat > 0) {
+        cmp.preSatLatencyIncreasePct =
+            (latencyRatioSum / static_cast<double>(preSat) - 1.0) * 100.0;
+        cmp.avgSavings = savingsSum / static_cast<double>(preSat);
+    }
+    return cmp;
+}
+
+} // namespace dvsnet::network

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Experiment driver: builds a fresh network + two-level workload per
+ * measurement point, sweeps the packet injection rate, and derives the
+ * paper's summary metrics (zero-load latency, saturation throughput —
+ * "where average packet latency worsens to more than twice the zero-load
+ * latency" — pre-saturation latency penalty, and power-saving factors).
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "network/network.hpp"
+#include "traffic/task_model.hpp"
+
+namespace dvsnet::network
+{
+
+/** A complete experiment description. */
+struct ExperimentSpec
+{
+    NetworkConfig network;
+    traffic::TwoLevelParams workload;  ///< injection rate set per point
+    Cycle warmup = 20000;
+    Cycle measure = 150000;
+};
+
+/** One sweep sample. */
+struct SweepPoint
+{
+    double injectionRate = 0.0;  ///< offered packets/cycle (target)
+    RunResults results;
+};
+
+/** Run a single point at the given network-wide injection rate. */
+RunResults runOnePoint(const ExperimentSpec &spec, double injectionRate);
+
+/** Run every rate in `rates` (each on a fresh network). */
+std::vector<SweepPoint> sweepInjection(const ExperimentSpec &spec,
+                                       const std::vector<double> &rates);
+
+/** Evenly spaced rate grid [lo, hi] with n points. */
+std::vector<double> rateGrid(double lo, double hi, std::size_t n);
+
+/** Zero-load latency: a run at a very low injection rate. */
+double measureZeroLoadLatency(const ExperimentSpec &spec);
+
+/**
+ * Saturation throughput from a sweep: delivered throughput at the first
+ * point whose latency exceeds 2x the zero-load latency (interpolated
+ * between brackets); returns the last point's throughput if the sweep
+ * never saturates.
+ */
+double saturationThroughput(const std::vector<SweepPoint> &series,
+                            double zeroLoadLatency);
+
+/** Paper-style DVS vs no-DVS comparison summary. */
+struct DvsComparison
+{
+    double zeroLoadBase = 0.0;
+    double zeroLoadDvs = 0.0;
+    double zeroLoadIncreasePct = 0.0;
+
+    /** Mean DVS/base latency ratio over points where the *baseline* is
+     *  below its saturation ("average latency before congestion"). */
+    double preSatLatencyIncreasePct = 0.0;
+
+    double saturationBase = 0.0;   ///< packets/cycle, paper's 2x rule
+    double saturationDvs = 0.0;    ///< same rule on the DVS curve
+    double throughputLossPct = 0.0;  ///< from the saturation pair
+
+    /** Delivered-throughput loss at the top swept rate — robust when
+     *  the paper's 2x-zero-load rule triggers on latency offset rather
+     *  than on congestion. */
+    double topRateThroughputLossPct = 0.0;
+
+    double maxSavings = 0.0;       ///< peak power-saving factor ("up to X")
+    double avgSavings = 0.0;       ///< mean over pre-sat points
+};
+
+/**
+ * Summarize matched sweeps (same rate grid) of a no-DVS baseline and a
+ * DVS policy, as reported in Section 4.4.1.
+ */
+DvsComparison compareDvs(const std::vector<SweepPoint> &baseline,
+                         const std::vector<SweepPoint> &dvs,
+                         double zeroLoadBase, double zeroLoadDvs);
+
+} // namespace dvsnet::network

@@ -1,0 +1,96 @@
+#include "power/energy_ledger.hpp"
+
+#include "common/fatal.hpp"
+
+namespace dvsnet::power
+{
+
+EnergyLedger::EnergyLedger(std::size_t numChannels, double referencePowerW)
+    : accounts_(numChannels), referencePowerW_(referencePowerW)
+{
+    DVSNET_ASSERT(numChannels > 0, "ledger needs at least one channel");
+    DVSNET_ASSERT(referencePowerW > 0, "reference power must be positive");
+    for (auto &acc : accounts_)
+        acc.power.start(0.0, 0.0);
+}
+
+void
+EnergyLedger::setChannelPower(std::size_t ch, double powerW, Tick now)
+{
+    DVSNET_ASSERT(ch < accounts_.size(), "channel out of range");
+    accounts_[ch].power.update(ticksToSeconds(now), powerW);
+}
+
+void
+EnergyLedger::addTransitionEnergy(std::size_t ch, double joules)
+{
+    DVSNET_ASSERT(ch < accounts_.size(), "channel out of range");
+    accounts_[ch].transitionJ += joules;
+    accounts_[ch].windowTransitionJ += joules;
+    totalTransitionJ_ += joules;
+}
+
+void
+EnergyLedger::beginWindow(Tick now)
+{
+    windowStart_ = now;
+    totalTransitionJ_ = 0.0;
+    for (auto &acc : accounts_) {
+        acc.power.resetWindow(ticksToSeconds(now));
+        acc.windowTransitionJ = 0.0;
+    }
+}
+
+double
+EnergyLedger::channelPowerNow(std::size_t ch) const
+{
+    DVSNET_ASSERT(ch < accounts_.size(), "channel out of range");
+    return accounts_[ch].power.value();
+}
+
+double
+EnergyLedger::channelAveragePower(std::size_t ch, Tick now) const
+{
+    DVSNET_ASSERT(ch < accounts_.size(), "channel out of range");
+    const double span = ticksToSeconds(now) - ticksToSeconds(windowStart_);
+    if (span <= 0.0)
+        return accounts_[ch].power.value();
+    return (accounts_[ch].power.integral(ticksToSeconds(now)) +
+            accounts_[ch].windowTransitionJ) / span;
+}
+
+double
+EnergyLedger::totalEnergy(Tick now) const
+{
+    double joules = totalTransitionJ_;
+    const double t = ticksToSeconds(now);
+    for (const auto &acc : accounts_)
+        joules += acc.power.integral(t);
+    return joules;
+}
+
+double
+EnergyLedger::averagePower(Tick now) const
+{
+    const double span = ticksToSeconds(now) - ticksToSeconds(windowStart_);
+    if (span <= 0.0)
+        return 0.0;
+    return totalEnergy(now) / span;
+}
+
+double
+EnergyLedger::normalizedPower(Tick now) const
+{
+    return averagePower(now) / referencePower();
+}
+
+double
+EnergyLedger::savingsFactor(Tick now) const
+{
+    const double p = averagePower(now);
+    if (p <= 0.0)
+        return 0.0;
+    return referencePower() / p;
+}
+
+} // namespace dvsnet::power

@@ -1,0 +1,26 @@
+#include "power/power_model.hpp"
+
+#include <cmath>
+
+#include "common/fatal.hpp"
+
+namespace dvsnet::power
+{
+
+TransitionEnergyModel::TransitionEnergyModel(double capacitanceF,
+                                             double efficiency)
+    : capacitanceF_(capacitanceF), efficiency_(efficiency)
+{
+    DVSNET_ASSERT(capacitanceF > 0, "capacitance must be positive");
+    DVSNET_ASSERT(efficiency > 0 && efficiency <= 1,
+                  "efficiency must be in (0, 1]");
+}
+
+double
+TransitionEnergyModel::transitionEnergy(double v1, double v2) const
+{
+    return (1.0 - efficiency_) * capacitanceF_ *
+           std::fabs(v2 * v2 - v1 * v1);
+}
+
+} // namespace dvsnet::power

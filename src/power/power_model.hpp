@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Link power / transition-energy models (Section 2).
+ *
+ * Transition energy follows Stratakos's first-order Buck-converter
+ * estimate (Eq. 1):
+ *
+ *   E_overhead = (1 - eta) * C * |V2^2 - V1^2|
+ *
+ * with the paper's assumptions of C = 5 uF filter capacitance and
+ * eta = 90% regulator efficiency (from the Kim-Horowitz link).
+ */
+
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.hpp"
+
+namespace dvsnet::power
+{
+
+/** Paper defaults for the adaptive power-supply regulator. */
+inline constexpr double kRegulatorCapacitanceF = 5e-6;
+inline constexpr double kRegulatorEfficiency = 0.90;
+
+/** Voltage-transition overhead energy model (Eq. 1). */
+class TransitionEnergyModel
+{
+  public:
+    /** Construct with explicit regulator parameters. */
+    TransitionEnergyModel(double capacitanceF, double efficiency);
+
+    /** Paper defaults: 5 uF, 90%. */
+    TransitionEnergyModel()
+        : TransitionEnergyModel(kRegulatorCapacitanceF,
+                                kRegulatorEfficiency)
+    {}
+
+    /** Overhead energy (J) for a ramp from v1 to v2. */
+    double transitionEnergy(double v1, double v2) const;
+
+    double capacitance() const { return capacitanceF_; }
+    double efficiency() const { return efficiency_; }
+
+  private:
+    double capacitanceF_;
+    double efficiency_;
+};
+
+} // namespace dvsnet::power

@@ -1,0 +1,152 @@
+#include "router/allocator.hpp"
+
+#include "common/fatal.hpp"
+
+namespace dvsnet::router
+{
+
+SeparableVcAllocator::SeparableVcAllocator(PortId numPorts,
+                                           std::int32_t numVcs,
+                                           std::int32_t numRequesters)
+    : numPorts_(numPorts), numVcs_(numVcs), numRequesters_(numRequesters)
+{
+    DVSNET_ASSERT(numPorts > 0 && numVcs > 0 && numRequesters > 0,
+                  "invalid VC allocator geometry");
+    arbiters_.reserve(static_cast<std::size_t>(numPorts) *
+                      static_cast<std::size_t>(numVcs));
+    for (std::int32_t i = 0; i < numPorts * numVcs; ++i)
+        arbiters_.emplace_back(numRequesters);
+    reqMatrix_.assign(static_cast<std::size_t>(numRequesters), false);
+}
+
+std::vector<VcGrant>
+SeparableVcAllocator::allocate(
+    const std::vector<VcRequest> &requests,
+    const std::function<bool(PortId, VcId)> &vcFree)
+{
+    std::vector<VcGrant> grants;
+    if (requests.empty())
+        return grants;
+
+    std::vector<bool> requesterGranted(
+        static_cast<std::size_t>(numRequesters_), false);
+
+    for (PortId port = 0; port < numPorts_; ++port) {
+        for (VcId vc = 0; vc < numVcs_; ++vc) {
+            if (!vcFree(port, vc))
+                continue;
+
+            std::fill(reqMatrix_.begin(), reqMatrix_.end(), false);
+            bool any = false;
+            for (const auto &req : requests) {
+                DVSNET_ASSERT(req.requester >= 0 &&
+                              req.requester < numRequesters_,
+                              "requester index out of range");
+                if (req.outPort == port &&
+                    (req.vcMask & (1u << vc)) != 0 &&
+                    !requesterGranted[
+                        static_cast<std::size_t>(req.requester)]) {
+                    reqMatrix_[static_cast<std::size_t>(req.requester)] =
+                        true;
+                    any = true;
+                }
+            }
+            if (!any)
+                continue;
+
+            auto &arb = arbiters_[static_cast<std::size_t>(port) *
+                                  static_cast<std::size_t>(numVcs_) +
+                                  static_cast<std::size_t>(vc)];
+            const std::int32_t winner = arb.arbitrate(reqMatrix_);
+            if (winner >= 0) {
+                grants.push_back({winner, port, vc});
+                requesterGranted[static_cast<std::size_t>(winner)] = true;
+            }
+        }
+    }
+    return grants;
+}
+
+SeparableSwitchAllocator::SeparableSwitchAllocator(PortId numPorts,
+                                                   std::int32_t numVcs)
+    : numPorts_(numPorts), numVcs_(numVcs)
+{
+    DVSNET_ASSERT(numPorts > 0 && numVcs > 0,
+                  "invalid switch allocator geometry");
+    inputStage_.reserve(static_cast<std::size_t>(numPorts));
+    outputStage_.reserve(static_cast<std::size_t>(numPorts));
+    for (PortId p = 0; p < numPorts; ++p) {
+        inputStage_.emplace_back(numVcs);
+        outputStage_.emplace_back(numPorts);
+    }
+}
+
+std::vector<SwitchGrant>
+SeparableSwitchAllocator::allocate(
+    const std::vector<SwitchRequest> &requests)
+{
+    std::vector<SwitchGrant> grants;
+    if (requests.empty())
+        return grants;
+
+    // Stage 1: each input port picks one of its requesting VCs.
+    // stageOne_[p] = index into `requests` of port p's winner, or -1.
+    stageOne_.assign(static_cast<std::size_t>(numPorts_), -1);
+    auto &stageOne = stageOne_;
+    vcReqs_.assign(static_cast<std::size_t>(numVcs_), false);
+    auto &vcReqs = vcReqs_;
+
+    for (PortId p = 0; p < numPorts_; ++p) {
+        std::fill(vcReqs.begin(), vcReqs.end(), false);
+        bool any = false;
+        for (const auto &req : requests) {
+            if (req.inPort == p) {
+                DVSNET_ASSERT(req.inVc >= 0 && req.inVc < numVcs_,
+                              "inVc out of range");
+                vcReqs[static_cast<std::size_t>(req.inVc)] = true;
+                any = true;
+            }
+        }
+        if (!any)
+            continue;
+        const std::int32_t vcWin =
+            inputStage_[static_cast<std::size_t>(p)].arbitrate(vcReqs);
+        if (vcWin < 0)
+            continue;
+        for (std::size_t i = 0; i < requests.size(); ++i) {
+            if (requests[i].inPort == p && requests[i].inVc == vcWin) {
+                stageOne[static_cast<std::size_t>(p)] =
+                    static_cast<std::int32_t>(i);
+                break;
+            }
+        }
+    }
+
+    // Stage 2: each output port picks one stage-1 winner targeting it.
+    portReqs_.assign(static_cast<std::size_t>(numPorts_), false);
+    auto &portReqs = portReqs_;
+    for (PortId out = 0; out < numPorts_; ++out) {
+        std::fill(portReqs.begin(), portReqs.end(), false);
+        bool any = false;
+        for (PortId p = 0; p < numPorts_; ++p) {
+            const std::int32_t idx = stageOne[static_cast<std::size_t>(p)];
+            if (idx >= 0 &&
+                requests[static_cast<std::size_t>(idx)].outPort == out) {
+                portReqs[static_cast<std::size_t>(p)] = true;
+                any = true;
+            }
+        }
+        if (!any)
+            continue;
+        const std::int32_t pWin =
+            outputStage_[static_cast<std::size_t>(out)].arbitrate(portReqs);
+        if (pWin >= 0) {
+            const auto &req = requests[static_cast<std::size_t>(
+                stageOne[static_cast<std::size_t>(pWin)])];
+            grants.push_back({req.inPort, req.inVc, req.outPort});
+        }
+    }
+    return grants;
+}
+
+} // namespace dvsnet::router

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Separable allocators for virtual channels and the crossbar switch,
+ * built from the single-resource arbiters in router/arbiter.hpp.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "router/arbiter.hpp"
+
+namespace dvsnet::router
+{
+
+/** Request from an input VC for a downstream virtual channel. */
+struct VcRequest
+{
+    std::int32_t requester;    ///< dense input-VC index (port*numVcs + vc)
+    PortId outPort;            ///< desired output port
+    std::uint32_t vcMask;      ///< acceptable downstream VCs (bitmask)
+};
+
+/** A granted downstream VC. */
+struct VcGrant
+{
+    std::int32_t requester;
+    PortId outPort;
+    VcId outVc;
+};
+
+/**
+ * Output-side separable VC allocator: one arbiter per downstream
+ * (port, vc) resource; each free resource picks among the input VCs
+ * requesting it.  An input VC receives at most one grant per invocation.
+ */
+class SeparableVcAllocator
+{
+  public:
+    /**
+     * @param numPorts output ports
+     * @param numVcs VCs per port
+     * @param numRequesters dense input-VC index space size
+     */
+    SeparableVcAllocator(PortId numPorts, std::int32_t numVcs,
+                         std::int32_t numRequesters);
+
+    /**
+     * Allocate downstream VCs.
+     *
+     * @param requests one entry per input VC wanting a downstream VC
+     * @param vcFree   predicate: is downstream (port, vc) unallocated?
+     * @return grants, at most one per requester and per (port, vc)
+     */
+    std::vector<VcGrant>
+    allocate(const std::vector<VcRequest> &requests,
+             const std::function<bool(PortId, VcId)> &vcFree);
+
+  private:
+    PortId numPorts_;
+    std::int32_t numVcs_;
+    std::int32_t numRequesters_;
+    std::vector<RoundRobinArbiter> arbiters_;  ///< per (port, vc)
+    std::vector<bool> reqMatrix_;              ///< scratch
+};
+
+/** Request from an input VC for a crossbar timeslot. */
+struct SwitchRequest
+{
+    PortId inPort;
+    VcId inVc;
+    PortId outPort;
+};
+
+/** A granted crossbar traversal. */
+struct SwitchGrant
+{
+    PortId inPort;
+    VcId inVc;
+    PortId outPort;
+};
+
+/**
+ * Input-first separable switch allocator: stage 1 picks one VC per input
+ * port (round-robin over its requesting VCs), stage 2 picks one input
+ * port per output port among the stage-1 winners.
+ */
+class SeparableSwitchAllocator
+{
+  public:
+    SeparableSwitchAllocator(PortId numPorts, std::int32_t numVcs);
+
+    /** Allocate crossbar slots; at most one grant per input and output. */
+    std::vector<SwitchGrant>
+    allocate(const std::vector<SwitchRequest> &requests);
+
+  private:
+    PortId numPorts_;
+    std::int32_t numVcs_;
+    std::vector<RoundRobinArbiter> inputStage_;   ///< per input port
+    std::vector<RoundRobinArbiter> outputStage_;  ///< per output port
+
+    // Scratch reused across invocations (hot path, no allocation).
+    std::vector<std::int32_t> stageOne_;
+    std::vector<bool> vcReqs_;
+    std::vector<bool> portReqs_;
+};
+
+} // namespace dvsnet::router

@@ -1,0 +1,7 @@
+#include "router/buffer.hpp"
+
+// Buffer classes are header-only; this file anchors them in the build.
+
+namespace dvsnet::router
+{
+} // namespace dvsnet::router

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Virtual-channel input buffers (Dally, "Virtual channel flow control").
+ *
+ * Each input port is statically partitioned into `numVcs` FIFO buffers.
+ * A VC moves through the classic state machine:
+ *
+ *   Idle -> Routing -> VcAlloc -> Active -> (tail departs) -> Idle
+ *
+ * Section 4.2: 128 flit buffers per input port, two virtual channels.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/fatal.hpp"
+#include "router/flit.hpp"
+
+namespace dvsnet::router
+{
+
+/** Lifecycle of a virtual channel at an input port. */
+enum class VcState : std::uint8_t
+{
+    Idle,     ///< no packet resident
+    Routing,  ///< head flit buffered, route not yet computed
+    VcAlloc,  ///< route known, waiting for a downstream VC grant
+    Active,   ///< downstream VC held; flits may bid for the switch
+};
+
+/** One virtual channel: FIFO of flits plus allocation state. */
+class VirtualChannel
+{
+  public:
+    explicit VirtualChannel(std::size_t capacity) : capacity_(capacity)
+    {
+        DVSNET_ASSERT(capacity > 0, "VC capacity must be positive");
+    }
+
+    /** Free slots remaining. */
+    std::size_t freeSlots() const { return capacity_ - fifo_.size(); }
+
+    /** Occupied slots. */
+    std::size_t occupancy() const { return fifo_.size(); }
+
+    /** Capacity in flits. */
+    std::size_t capacity() const { return capacity_; }
+
+    bool empty() const { return fifo_.empty(); }
+    bool full() const { return fifo_.size() == capacity_; }
+
+    /** Enqueue an arriving flit (must not be full). */
+    void
+    enqueue(const Flit &flit)
+    {
+        DVSNET_ASSERT(!full(), "enqueue into full VC (credit bug)");
+        fifo_.push_back(flit);
+    }
+
+    /** Flit at the head (must not be empty). */
+    const Flit &
+    front() const
+    {
+        DVSNET_ASSERT(!empty(), "front of empty VC");
+        return fifo_.front();
+    }
+
+    /** Dequeue the head flit. */
+    Flit
+    dequeue()
+    {
+        DVSNET_ASSERT(!empty(), "dequeue from empty VC");
+        Flit f = fifo_.front();
+        fifo_.pop_front();
+        return f;
+    }
+
+    VcState state() const { return state_; }
+    void setState(VcState s) { state_ = s; }
+
+    /** Output port granted to the resident packet (valid when routed). */
+    PortId outPort() const { return outPort_; }
+    void setOutPort(PortId p) { outPort_ = p; }
+
+    /** Downstream VC granted (valid when Active). */
+    VcId outVc() const { return outVc_; }
+    void setOutVc(VcId v) { outVc_ = v; }
+
+    /** Allowed downstream VC bitmask from the routing function. */
+    std::uint32_t vcMask() const { return vcMask_; }
+    void setVcMask(std::uint32_t m) { vcMask_ = m; }
+
+    /** Reset allocation state after the tail departs. */
+    void
+    release()
+    {
+        state_ = VcState::Idle;
+        outPort_ = kInvalidId;
+        outVc_ = kInvalidId;
+        vcMask_ = 0;
+    }
+
+  private:
+    std::deque<Flit> fifo_;
+    std::size_t capacity_;
+    VcState state_ = VcState::Idle;
+    PortId outPort_ = kInvalidId;
+    VcId outVc_ = kInvalidId;
+    std::uint32_t vcMask_ = 0;
+};
+
+/** All virtual channels of one input port. */
+class InputBuffer
+{
+  public:
+    /**
+     * @param numVcs virtual channels at this port
+     * @param flitsPerPort total buffer depth, split evenly across VCs
+     */
+    InputBuffer(std::int32_t numVcs, std::size_t flitsPerPort)
+    {
+        DVSNET_ASSERT(numVcs > 0, "need at least one VC");
+        DVSNET_ASSERT(flitsPerPort >= static_cast<std::size_t>(numVcs),
+                      "fewer buffer slots than VCs");
+        const std::size_t per = flitsPerPort / static_cast<std::size_t>(numVcs);
+        vcs_.reserve(static_cast<std::size_t>(numVcs));
+        for (std::int32_t v = 0; v < numVcs; ++v)
+            vcs_.emplace_back(per);
+    }
+
+    std::int32_t numVcs() const
+    {
+        return static_cast<std::int32_t>(vcs_.size());
+    }
+
+    VirtualChannel &vc(VcId v) { return vcs_.at(static_cast<std::size_t>(v)); }
+    const VirtualChannel &vc(VcId v) const
+    {
+        return vcs_.at(static_cast<std::size_t>(v));
+    }
+
+    /** Flits buffered across all VCs. */
+    std::size_t
+    totalOccupancy() const
+    {
+        std::size_t n = 0;
+        for (const auto &v : vcs_)
+            n += v.occupancy();
+        return n;
+    }
+
+    /** Total capacity across all VCs. */
+    std::size_t
+    totalCapacity() const
+    {
+        std::size_t n = 0;
+        for (const auto &v : vcs_)
+            n += v.capacity();
+        return n;
+    }
+
+  private:
+    std::vector<VirtualChannel> vcs_;
+};
+
+} // namespace dvsnet::router

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Flits and packets.  Per Section 4.2, packets are fixed-length: a head
+ * flit leading body flits, each 32 bits wide; the default packet length is
+ * five flits.  The flit carries enough routing/accounting state that
+ * buffers can store flits by value with no indirection in the hot path.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace dvsnet::router
+{
+
+/** Unique packet identifier. */
+using PacketId = std::uint64_t;
+
+/** A flow-control unit. */
+struct Flit
+{
+    PacketId packet = 0;       ///< owning packet
+    NodeId src = kInvalidId;   ///< source terminal
+    NodeId dst = kInvalidId;   ///< destination terminal
+    std::uint16_t seq = 0;     ///< index within the packet (0 = head)
+    std::uint16_t packetLen = 0; ///< total flits in the packet
+    Tick created = 0;          ///< packet creation time (latency epoch)
+    Tick arrived = 0;          ///< arrival at current input buffer (for BA)
+    VcId vc = kInvalidId;      ///< VC at the current router
+
+    bool isHead() const { return seq == 0; }
+    bool isTail() const { return seq + 1 == packetLen; }
+};
+
+/** Packet descriptor used by traffic generators and metrics. */
+struct PacketDesc
+{
+    PacketId id = 0;
+    NodeId src = kInvalidId;
+    NodeId dst = kInvalidId;
+    std::uint16_t length = 0;  ///< flits
+    Tick created = 0;
+};
+
+} // namespace dvsnet::router

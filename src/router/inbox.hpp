@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Time-stamped FIFO inboxes connecting links to routers.
+ *
+ * A link computes the exact picosecond a flit (or credit) lands at the
+ * downstream router and pushes it here; the router drains everything with
+ * arrival time <= now at the start of its cycle step.  Because each inbox
+ * is fed by exactly one link and each link's deliveries are monotone in
+ * time, a plain FIFO preserves timestamp order — no per-flit events needed.
+ */
+
+#pragma once
+
+#include <deque>
+
+#include "common/fatal.hpp"
+#include "common/types.hpp"
+
+namespace dvsnet::router
+{
+
+/** FIFO of (arrival tick, item) pairs with monotone arrival times. */
+template <typename T>
+class Inbox
+{
+  public:
+    /** Push an item arriving at `when` (must be >= the previous push). */
+    void
+    push(Tick when, const T &item)
+    {
+        DVSNET_ASSERT(queue_.empty() || when >= queue_.back().when,
+                      "inbox arrival times must be monotone");
+        queue_.push_back(Slot{when, item});
+    }
+
+    /** True if an item has arrived by `now`. */
+    bool
+    ready(Tick now) const
+    {
+        return !queue_.empty() && queue_.front().when <= now;
+    }
+
+    /** Pop the earliest item (precondition: ready(now)). */
+    T
+    pop(Tick now)
+    {
+        DVSNET_ASSERT(ready(now), "inbox pop with nothing ready");
+        T item = queue_.front().item;
+        queue_.pop_front();
+        return item;
+    }
+
+    /** Items in flight (arrived or not). */
+    std::size_t size() const { return queue_.size(); }
+
+    bool empty() const { return queue_.empty(); }
+
+    /** Arrival tick of the earliest item; kTickNever if empty. */
+    Tick
+    nextArrival() const
+    {
+        return queue_.empty() ? kTickNever : queue_.front().when;
+    }
+
+  private:
+    struct Slot
+    {
+        Tick when;
+        T item;
+    };
+
+    std::deque<Slot> queue_;
+};
+
+} // namespace dvsnet::router

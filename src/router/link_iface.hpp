@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Interfaces the router uses to talk to its attached channels.
+ *
+ * The router is agnostic to what implements them: DVS channels
+ * (link/dvs_link.hpp) for inter-router traffic, or the fixed-speed
+ * terminal paths the network provides for injection/ejection.
+ */
+
+#pragma once
+
+#include "common/types.hpp"
+#include "router/flit.hpp"
+
+namespace dvsnet::router
+{
+
+/** Downstream data path for flits leaving an output port. */
+class FlitChannel
+{
+  public:
+    virtual ~FlitChannel() = default;
+
+    /**
+     * True if a flit that becomes ready to depart at `earliest` could
+     * start traversing without the channel backing up (used to gate
+     * switch allocation; a slow or transitioning DVS link reports false
+     * and thereby exerts backpressure).
+     */
+    virtual bool canAccept(Tick earliest) const = 0;
+
+    /**
+     * Commit a flit to the channel.  Reserves serialization bandwidth and
+     * delivers the flit into the downstream inbox at the exact arrival
+     * tick.  @return the departure tick actually scheduled.
+     */
+    virtual Tick send(const Flit &flit, Tick earliest) = 0;
+};
+
+/** Upstream credit return path for an input port. */
+class CreditChannel
+{
+  public:
+    virtual ~CreditChannel() = default;
+
+    /**
+     * Return one credit for virtual channel `vc` to the upstream router.
+     * Timing follows the reverse channel's clock, so a slowed link
+     * lengthens the credit turnaround (Section 4.4.2).
+     */
+    virtual void sendCredit(VcId vc, Tick now) = 0;
+};
+
+} // namespace dvsnet::router

@@ -1,0 +1,376 @@
+#include "router/router.hpp"
+
+#include <algorithm>
+
+#include "common/fatal.hpp"
+
+namespace dvsnet::router
+{
+
+Router::Router(NodeId id, const RouterConfig &config,
+               const RoutingAlgorithm &routing)
+    : id_(id),
+      config_(config),
+      routing_(routing),
+      vcAlloc_(config.numPorts, config.numVcs,
+               config.numPorts * config.numVcs),
+      swAlloc_(config.numPorts, config.numVcs)
+{
+    DVSNET_ASSERT(config.numPorts >= 2, "router needs >= 2 ports");
+    DVSNET_ASSERT(config.numVcs >= 1, "router needs >= 1 VC");
+    DVSNET_ASSERT(config.pipelineLatency >= 3,
+                  "pipeline must cover RC, VA, SA");
+
+    extraDelayTicks_ = cyclesToTicks(config.pipelineLatency - 2);
+
+    inputs_.reserve(static_cast<std::size_t>(config.numPorts));
+    outputs_.resize(static_cast<std::size_t>(config.numPorts));
+    for (PortId p = 0; p < config.numPorts; ++p)
+        inputs_.emplace_back(config_);
+}
+
+void
+Router::connectOutput(PortId port, FlitChannel *link,
+                      std::size_t downstreamVcCapacity)
+{
+    DVSNET_ASSERT(port >= 0 && port < config_.numPorts, "port out of range");
+    auto &out = outputs_[static_cast<std::size_t>(port)];
+    out.link = link;
+    out.credits.assign(static_cast<std::size_t>(config_.numVcs),
+                       downstreamVcCapacity);
+    out.vcBusy.assign(static_cast<std::size_t>(config_.numVcs), false);
+    out.downstreamCapacity =
+        downstreamVcCapacity * static_cast<std::size_t>(config_.numVcs);
+    out.occupancy.start(0.0, 0.0);
+    out.occupancyNow = 0.0;
+}
+
+void
+Router::connectCreditReturn(PortId port, CreditChannel *path)
+{
+    DVSNET_ASSERT(port >= 0 && port < config_.numPorts, "port out of range");
+    inputs_[static_cast<std::size_t>(port)].creditReturn = path;
+}
+
+Inbox<Flit> &
+Router::flitInbox(PortId port)
+{
+    return inputs_.at(static_cast<std::size_t>(port)).flitInbox;
+}
+
+Inbox<VcId> &
+Router::creditInbox(PortId port)
+{
+    return outputs_.at(static_cast<std::size_t>(port)).creditInbox;
+}
+
+void
+Router::step(Tick now)
+{
+    drainCredits(now);
+    drainFlits(now);
+    if (bufferedFlits_ == 0)
+        return;  // nothing to allocate or route
+    // Reverse stage order: each allocation stage sees state produced by
+    // the earlier pipeline stage one cycle ago.
+    switchAllocate(now);
+    vcAllocate();
+    routeCompute();
+}
+
+void
+Router::drainCredits(Tick now)
+{
+    const double nowCycles =
+        static_cast<double>(now) / static_cast<double>(kRouterClockPeriod);
+    for (PortId p = 0; p < config_.numPorts; ++p) {
+        auto &out = outputs_[static_cast<std::size_t>(p)];
+        while (out.creditInbox.ready(now)) {
+            const VcId vc = out.creditInbox.pop(now);
+            DVSNET_ASSERT(vc >= 0 && vc < config_.numVcs,
+                          "credit VC out of range");
+            ++out.credits[static_cast<std::size_t>(vc)];
+            out.occupancyNow -= 1.0;
+            DVSNET_ASSERT(out.occupancyNow >= -0.5,
+                          "credit accounting underflow");
+            out.occupancy.update(nowCycles, out.occupancyNow);
+        }
+    }
+}
+
+void
+Router::drainFlits(Tick now)
+{
+    for (PortId p = 0; p < config_.numPorts; ++p) {
+        auto &in = inputs_[static_cast<std::size_t>(p)];
+        while (in.flitInbox.ready(now)) {
+            Flit flit = in.flitInbox.pop(now);
+            DVSNET_ASSERT(flit.vc >= 0 && flit.vc < config_.numVcs,
+                          "flit VC out of range");
+            flit.arrived = now;
+            auto &vc = in.buffer.vc(flit.vc);
+            if (flit.isHead()) {
+                // A head either finds the VC idle or queues behind a
+                // previous packet still draining through the same VC.
+                if (vc.state() == VcState::Idle) {
+                    DVSNET_ASSERT(vc.empty(), "idle VC with residue");
+                    vc.setState(VcState::Routing);
+                }
+            } else {
+                DVSNET_ASSERT(vc.state() != VcState::Idle || !vc.empty(),
+                              "body flit into idle empty VC");
+            }
+            vc.enqueue(flit);
+            ++bufferedFlits_;
+            ++stats_.flitsArrived;
+        }
+    }
+}
+
+void
+Router::switchAllocate(Tick now)
+{
+    swRequests_.clear();
+    const Tick earliest = now + extraDelayTicks_;
+
+    for (PortId p = 0; p < config_.numPorts; ++p) {
+        auto &in = inputs_[static_cast<std::size_t>(p)];
+        for (VcId v = 0; v < config_.numVcs; ++v) {
+            auto &vc = in.buffer.vc(v);
+            if (vc.state() != VcState::Active || vc.empty())
+                continue;
+            const auto &out =
+                outputs_[static_cast<std::size_t>(vc.outPort())];
+            DVSNET_ASSERT(out.link != nullptr, "unconnected output port");
+            if (out.credits[static_cast<std::size_t>(vc.outVc())] == 0)
+                continue;
+            if (!out.link->canAccept(earliest))
+                continue;
+            swRequests_.push_back({p, v, vc.outPort()});
+        }
+    }
+
+    if (swRequests_.empty())
+        return;
+
+    const auto grants = swAlloc_.allocate(swRequests_);
+    const double nowCycles =
+        static_cast<double>(now) / static_cast<double>(kRouterClockPeriod);
+
+    for (const auto &g : grants) {
+        auto &in = inputs_[static_cast<std::size_t>(g.inPort)];
+        auto &vc = in.buffer.vc(g.inVc);
+        auto &out = outputs_[static_cast<std::size_t>(g.outPort)];
+
+        Flit flit = vc.dequeue();
+        --bufferedFlits_;
+        const VcId outVc = vc.outVc();
+
+        // Input-buffer age (Eq. 4): time the flit spent buffered here.
+        in.ageSumCycles += static_cast<double>(now - flit.arrived) /
+                           static_cast<double>(kRouterClockPeriod);
+        ++in.departed;
+
+        // Consume one downstream credit; track downstream occupancy (BU).
+        DVSNET_ASSERT(out.credits[static_cast<std::size_t>(outVc)] > 0,
+                      "switch grant without credit");
+        --out.credits[static_cast<std::size_t>(outVc)];
+        out.occupancyNow += 1.0;
+        out.occupancy.update(nowCycles, out.occupancyNow);
+
+        // Return a credit upstream for the freed buffer slot.  Terminal
+        // input ports have no credit path (the injection process observes
+        // buffer occupancy directly).
+        if (in.creditReturn != nullptr)
+            in.creditReturn->sendCredit(g.inVc, now);
+
+        // Hand the flit to the channel, re-tagged with its downstream VC.
+        flit.vc = outVc;
+        out.link->send(flit, now + extraDelayTicks_);
+        ++out.forwardedWindow;
+        ++stats_.flitsForwarded;
+        ++stats_.switchGrants;
+
+        if (flit.isTail()) {
+            out.vcBusy[static_cast<std::size_t>(outVc)] = false;
+            vc.release();
+            // Another packet may already be queued behind the tail.
+            if (!vc.empty()) {
+                DVSNET_ASSERT(vc.front().isHead(),
+                              "non-head behind a departed tail");
+                vc.setState(VcState::Routing);
+            }
+        }
+    }
+}
+
+void
+Router::vcAllocate()
+{
+    vcRequests_.clear();
+    for (PortId p = 0; p < config_.numPorts; ++p) {
+        auto &in = inputs_[static_cast<std::size_t>(p)];
+        for (VcId v = 0; v < config_.numVcs; ++v) {
+            auto &vc = in.buffer.vc(v);
+            if (vc.state() != VcState::VcAlloc)
+                continue;
+            vcRequests_.push_back({vcIndex(p, v), vc.outPort(),
+                                   vc.vcMask()});
+        }
+    }
+    if (vcRequests_.empty())
+        return;
+
+    auto vcFree = [this](PortId port, VcId vc) {
+        const auto &out = outputs_[static_cast<std::size_t>(port)];
+        return out.link != nullptr &&
+               !out.vcBusy[static_cast<std::size_t>(vc)];
+    };
+
+    for (const auto &g : vcAlloc_.allocate(vcRequests_, vcFree)) {
+        const PortId p = g.requester / config_.numVcs;
+        const VcId v = g.requester % config_.numVcs;
+        auto &vc = inputs_[static_cast<std::size_t>(p)].buffer.vc(v);
+        DVSNET_ASSERT(vc.state() == VcState::VcAlloc, "stale VC grant");
+        vc.setOutVc(g.outVc);
+        vc.setState(VcState::Active);
+        outputs_[static_cast<std::size_t>(g.outPort)]
+            .vcBusy[static_cast<std::size_t>(g.outVc)] = true;
+        ++stats_.vcGrants;
+    }
+}
+
+void
+Router::routeCompute()
+{
+    for (PortId p = 0; p < config_.numPorts; ++p) {
+        auto &in = inputs_[static_cast<std::size_t>(p)];
+        for (VcId v = 0; v < config_.numVcs; ++v) {
+            auto &vc = in.buffer.vc(v);
+            if (vc.state() != VcState::Routing)
+                continue;
+            DVSNET_ASSERT(!vc.empty() && vc.front().isHead(),
+                          "routing state without a head flit");
+            const Flit &head = vc.front();
+
+            routing_.route(id_, p, v, head.dst, candidates_);
+            DVSNET_ASSERT(!candidates_.empty(), "no route candidates");
+
+            // Adaptive output selection: among candidate ports, prefer
+            // the one with the most free downstream credits (summed over
+            // the VCs its mask allows); merge masks of candidates that
+            // share the winning port.
+            PortId bestPort = kInvalidId;
+            std::size_t bestScore = 0;
+            for (const auto &cand : candidates_) {
+                const auto &out =
+                    outputs_[static_cast<std::size_t>(cand.outPort)];
+                std::size_t score = 0;
+                for (VcId ovc = 0; ovc < config_.numVcs; ++ovc) {
+                    if (cand.vcMask & (1u << ovc))
+                        score += out.credits[static_cast<std::size_t>(ovc)];
+                }
+                if (bestPort == kInvalidId || score > bestScore) {
+                    bestPort = cand.outPort;
+                    bestScore = score;
+                }
+            }
+            std::uint32_t mask = 0;
+            for (const auto &cand : candidates_) {
+                if (cand.outPort == bestPort)
+                    mask |= cand.vcMask;
+            }
+
+            vc.setOutPort(bestPort);
+            vc.setVcMask(mask);
+            vc.setState(VcState::VcAlloc);
+            ++stats_.headsRouted;
+        }
+    }
+}
+
+bool
+Router::idle() const
+{
+    for (PortId p = 0; p < config_.numPorts; ++p) {
+        const auto &in = inputs_[static_cast<std::size_t>(p)];
+        if (!in.flitInbox.empty() || in.buffer.totalOccupancy() > 0)
+            return false;
+        if (!outputs_[static_cast<std::size_t>(p)].creditInbox.empty())
+            return false;
+    }
+    return true;
+}
+
+std::size_t
+Router::terminalFreeSlots(VcId vc) const
+{
+    const auto &in = inputs_.back();
+    return in.buffer.vc(vc).freeSlots();
+}
+
+std::size_t
+Router::bufferOccupancy(PortId port) const
+{
+    return inputs_.at(static_cast<std::size_t>(port))
+        .buffer.totalOccupancy();
+}
+
+std::size_t
+Router::bufferCapacity(PortId port) const
+{
+    return inputs_.at(static_cast<std::size_t>(port))
+        .buffer.totalCapacity();
+}
+
+double
+Router::takeBufferUtilWindow(PortId port, Tick now)
+{
+    auto &out = outputs_.at(static_cast<std::size_t>(port));
+    DVSNET_ASSERT(out.downstreamCapacity > 0, "port has no downstream");
+    const double nowCycles =
+        static_cast<double>(now) / static_cast<double>(kRouterClockPeriod);
+    const double avgOccupancy = out.occupancy.average(nowCycles);
+    out.occupancy.resetWindow(nowCycles);
+    return std::clamp(
+        avgOccupancy / static_cast<double>(out.downstreamCapacity), 0.0,
+        1.0);
+}
+
+double
+Router::bufferUtilNow(PortId port) const
+{
+    const auto &out = outputs_.at(static_cast<std::size_t>(port));
+    DVSNET_ASSERT(out.downstreamCapacity > 0, "port has no downstream");
+    return std::clamp(
+        out.occupancyNow / static_cast<double>(out.downstreamCapacity),
+        0.0, 1.0);
+}
+
+std::pair<double, std::uint64_t>
+Router::takeBufferAgeWindow(PortId port)
+{
+    auto &in = inputs_.at(static_cast<std::size_t>(port));
+    const auto result = std::make_pair(in.ageSumCycles, in.departed);
+    in.ageSumCycles = 0.0;
+    in.departed = 0;
+    return result;
+}
+
+std::size_t
+Router::creditCount(PortId port, VcId vc) const
+{
+    const auto &out = outputs_.at(static_cast<std::size_t>(port));
+    return out.credits.at(static_cast<std::size_t>(vc));
+}
+
+std::uint64_t
+Router::takeForwardedWindow(PortId port)
+{
+    auto &out = outputs_.at(static_cast<std::size_t>(port));
+    const auto n = out.forwardedWindow;
+    out.forwardedWindow = 0;
+    return n;
+}
+
+} // namespace dvsnet::router

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Pipelined virtual-channel router with credit-based flow control.
+ *
+ * Microarchitecture (per Section 4.2: Alpha-21364-like, 13-stage
+ * pipeline, two VCs, 128 flit buffers per input port):
+ *
+ *   arrival -> [RC] -> [VA] -> [SA] -> crossbar + delay pipe -> channel
+ *
+ * The three allocation stages are modeled cycle-accurately with one cycle
+ * each (processed in reverse order within a cycle step so results become
+ * visible to the next stage one cycle later); the remaining pipeline depth
+ * is a fixed delay between switch traversal and channel departure so the
+ * zero-load in-router latency equals `pipelineLatency` cycles.
+ *
+ * Measurement taps for the DVS policy (Section 3.1):
+ *  - link utilization comes from the channel itself (serialization busy
+ *    time, see DvsChannel);
+ *  - downstream input-buffer occupancy is tracked per output port from
+ *    credit state ("most routers use credit-based flow control; current
+ *    buffer utilization is thus already available");
+ *  - input-buffer age (Eq. 4) is accumulated per input port as flits
+ *    depart their buffers.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "router/allocator.hpp"
+#include "router/buffer.hpp"
+#include "router/flit.hpp"
+#include "router/inbox.hpp"
+#include "router/link_iface.hpp"
+#include "router/routing.hpp"
+
+namespace dvsnet::router
+{
+
+/** Static configuration of one router. */
+struct RouterConfig
+{
+    PortId numPorts = 5;            ///< including the terminal port
+    std::int32_t numVcs = 2;        ///< virtual channels per port
+    std::size_t bufferPerPort = 128; ///< flit slots per input port
+    Cycle pipelineLatency = 13;     ///< zero-load in-router cycles (>= 3)
+};
+
+/** Counters exported for diagnostics and tests. */
+struct RouterStats
+{
+    std::uint64_t flitsArrived = 0;
+    std::uint64_t flitsForwarded = 0;
+    std::uint64_t headsRouted = 0;
+    std::uint64_t vcGrants = 0;
+    std::uint64_t switchGrants = 0;
+};
+
+/** One input-queued VC router. */
+class Router
+{
+  public:
+    /**
+     * @param id node id of this router
+     * @param config geometry and pipeline depth
+     * @param routing routing algorithm (owned by the caller, outlives us)
+     */
+    Router(NodeId id, const RouterConfig &config,
+           const RoutingAlgorithm &routing);
+
+    NodeId id() const { return id_; }
+    const RouterConfig &config() const { return config_; }
+
+    /**
+     * Attach the outgoing channel of `port`.
+     * @param link data path (not owned)
+     * @param downstreamVcCapacity per-VC credit count to initialize
+     */
+    void connectOutput(PortId port, FlitChannel *link,
+                       std::size_t downstreamVcCapacity);
+
+    /** Attach the credit-return path for flits consumed at input `port`. */
+    void connectCreditReturn(PortId port, CreditChannel *path);
+
+    /** Inbox a channel delivers flits into (input side of `port`). */
+    Inbox<Flit> &flitInbox(PortId port);
+
+    /** Inbox the downstream router's credits arrive in (output `port`). */
+    Inbox<VcId> &creditInbox(PortId port);
+
+    /** Execute one router-core cycle ending at tick `now`. */
+    void step(Tick now);
+
+    /** True if no flit is buffered or in flight into this router. */
+    bool idle() const;
+
+    /** Free slots in the terminal input VC (for the injection process). */
+    std::size_t terminalFreeSlots(VcId vc) const;
+
+    /** Total buffered flits at input `port` (Eq. 3 numerator F(t)). */
+    std::size_t bufferOccupancy(PortId port) const;
+
+    /** Buffer capacity at input `port` (Eq. 3 denominator B). */
+    std::size_t bufferCapacity(PortId port) const;
+
+    /**
+     * Downstream occupancy estimate for output `port`, as a fraction of
+     * downstream capacity, integrated since the last takeWindow call.
+     * This is the BU measure of Eq. 3 as seen through credit state.
+     */
+    double takeBufferUtilWindow(PortId port, Tick now);
+
+    /** Current instantaneous downstream-occupancy fraction. */
+    double bufferUtilNow(PortId port) const;
+
+    /**
+     * Input-buffer age accumulated at input `port` since the last call:
+     * (sum of ages in cycles, departed flit count) — Eq. 4 terms.
+     */
+    std::pair<double, std::uint64_t> takeBufferAgeWindow(PortId port);
+
+    /** Flits forwarded through output `port` since the last call. */
+    std::uint64_t takeForwardedWindow(PortId port);
+
+    /** Available downstream credits at output `port` for VC `vc`. */
+    std::size_t creditCount(PortId port, VcId vc) const;
+
+    const RouterStats &stats() const { return stats_; }
+
+  private:
+    struct OutputUnit
+    {
+        FlitChannel *link = nullptr;
+        std::vector<std::size_t> credits;    ///< per downstream VC
+        std::vector<bool> vcBusy;            ///< downstream VC held by a packet
+        std::size_t downstreamCapacity = 0;  ///< total flit slots downstream
+        TimeWeightedAverage occupancy;       ///< downstream occupancy (flits)
+        double occupancyNow = 0.0;
+        Inbox<VcId> creditInbox;
+        std::uint64_t forwardedWindow = 0;
+    };
+
+    struct InputUnit
+    {
+        InputBuffer buffer;
+        CreditChannel *creditReturn = nullptr;
+        Inbox<Flit> flitInbox;
+        double ageSumCycles = 0.0;   ///< Eq. 4 numerator, current window
+        std::uint64_t departed = 0;  ///< Eq. 4 denominator, current window
+
+        explicit InputUnit(const RouterConfig &cfg)
+            : buffer(cfg.numVcs, cfg.bufferPerPort)
+        {}
+    };
+
+    void drainCredits(Tick now);
+    void drainFlits(Tick now);
+    void switchAllocate(Tick now);
+    void vcAllocate();
+    void routeCompute();
+
+    std::int32_t vcIndex(PortId port, VcId vc) const
+    {
+        return port * config_.numVcs + vc;
+    }
+
+    NodeId id_;
+    RouterConfig config_;
+    const RoutingAlgorithm &routing_;
+    std::vector<InputUnit> inputs_;
+    std::vector<OutputUnit> outputs_;
+    SeparableVcAllocator vcAlloc_;
+    SeparableSwitchAllocator swAlloc_;
+    Tick extraDelayTicks_;  ///< SA-to-departure pipeline padding
+    std::size_t bufferedFlits_ = 0;  ///< total across all input VCs
+    RouterStats stats_;
+
+    // Scratch vectors reused across cycles to avoid allocation churn.
+    std::vector<SwitchRequest> swRequests_;
+    std::vector<VcRequest> vcRequests_;
+    std::vector<RouteCandidate> candidates_;
+};
+
+} // namespace dvsnet::router

@@ -1,0 +1,8 @@
+#include "sim/clock.hpp"
+
+// Clock is header-only; this translation unit anchors the module in the
+// build so link errors surface immediately if the header breaks.
+
+namespace dvsnet::sim
+{
+} // namespace dvsnet::sim

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Clock-domain arithmetic.
+ *
+ * The router core runs at a fixed 1 GHz; every DVS channel has its own
+ * variable-frequency clock.  A Clock converts between cycles of its domain
+ * and global ticks, and aligns arbitrary ticks to its next edge.
+ */
+
+#pragma once
+
+#include "common/fatal.hpp"
+#include "common/types.hpp"
+
+namespace dvsnet::sim
+{
+
+/** A periodic clock with an integral period in ticks. */
+class Clock
+{
+  public:
+    /** Construct with a period in ticks (> 0). */
+    explicit Clock(Tick period) : period_(period)
+    {
+        DVSNET_ASSERT(period > 0, "clock period must be positive");
+    }
+
+    /** Period in ticks. */
+    Tick period() const { return period_; }
+
+    /** Frequency in Hz. */
+    double frequencyHz() const
+    {
+        return kTicksPerSecond / static_cast<double>(period_);
+    }
+
+    /** Tick of the first edge at or after `t` (edges at multiples of period). */
+    Tick nextEdge(Tick t) const
+    {
+        const Tick rem = t % period_;
+        return rem == 0 ? t : t + (period_ - rem);
+    }
+
+    /** Tick of the edge strictly after `t`. */
+    Tick edgeAfter(Tick t) const { return nextEdge(t + 1); }
+
+    /** Number of whole cycles elapsed at tick `t`. */
+    Cycle cycles(Tick t) const { return t / period_; }
+
+    /** Tick at which cycle `c` begins. */
+    Tick cycleStart(Cycle c) const { return c * period_; }
+
+    /** Construct a clock from a frequency in Hz (rounded to integer ps). */
+    static Clock fromHz(double hz)
+    {
+        DVSNET_ASSERT(hz > 0, "frequency must be positive");
+        return Clock(static_cast<Tick>(kTicksPerSecond / hz + 0.5));
+    }
+
+  private:
+    Tick period_;
+};
+
+/** The fixed router-core clock (1 GHz). */
+inline const Clock &
+routerClock()
+{
+    static const Clock clk(kRouterClockPeriod);
+    return clk;
+}
+
+} // namespace dvsnet::sim

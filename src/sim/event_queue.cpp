@@ -1,0 +1,96 @@
+#include "sim/event_queue.hpp"
+
+#include "common/fatal.hpp"
+
+namespace dvsnet::sim
+{
+
+namespace
+{
+
+std::uint64_t
+packId(std::uint32_t gen, std::uint32_t slot)
+{
+    return (static_cast<std::uint64_t>(gen) << 32) | slot;
+}
+
+} // namespace
+
+EventQueue::EventId
+EventQueue::schedule(Tick when, EventFn fn)
+{
+    DVSNET_ASSERT(fn != nullptr, "scheduling a null event");
+
+    std::uint32_t slot;
+    if (!freeSlots_.empty()) {
+        slot = freeSlots_.back();
+        freeSlots_.pop_back();
+    } else {
+        slot = static_cast<std::uint32_t>(slots_.size());
+        slots_.emplace_back();
+    }
+    slots_[slot].fn = std::move(fn);
+
+    heap_.push(Key{when, nextSeq_++, slot});
+    ++liveCount_;
+    return packId(slots_[slot].gen, slot);
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    const auto slot = static_cast<std::uint32_t>(id & 0xffffffffu);
+    const auto gen = static_cast<std::uint32_t>(id >> 32);
+    if (slot >= slots_.size() || slots_[slot].gen != gen ||
+        slots_[slot].fn == nullptr) {
+        return false;  // already fired, cancelled, or recycled
+    }
+    // The heap key stays until it pops; the slot is recycled then.
+    slots_[slot].fn = nullptr;
+    DVSNET_ASSERT(liveCount_ > 0, "cancel with no live events");
+    --liveCount_;
+    return true;
+}
+
+void
+EventQueue::recycle(std::uint32_t slot)
+{
+    ++slots_[slot].gen;
+    freeSlots_.push_back(slot);
+}
+
+void
+EventQueue::skipDead() const
+{
+    auto *self = const_cast<EventQueue *>(this);
+    while (!heap_.empty() &&
+           self->slots_[heap_.top().slot].fn == nullptr) {
+        self->recycle(heap_.top().slot);
+        self->heap_.pop();
+    }
+}
+
+Tick
+EventQueue::nextTick() const
+{
+    skipDead();
+    return heap_.empty() ? kTickNever : heap_.top().when;
+}
+
+Tick
+EventQueue::executeNext()
+{
+    skipDead();
+    DVSNET_ASSERT(!heap_.empty(), "executeNext on empty queue");
+    const Key key = heap_.top();
+    heap_.pop();
+    EventFn fn = std::move(slots_[key.slot].fn);
+    slots_[key.slot].fn = nullptr;
+    recycle(key.slot);
+    --liveCount_;
+    ++executed_;
+    fn();
+    return key.when;
+}
+
+} // namespace dvsnet::sim

@@ -1,0 +1,40 @@
+#include "sim/kernel.hpp"
+
+#include "common/fatal.hpp"
+
+namespace dvsnet::sim
+{
+
+EventQueue::EventId
+Kernel::at(Tick when, EventFn fn)
+{
+    DVSNET_ASSERT(when >= now_, "scheduling into the past: when=", when,
+                  " now=", now_);
+    return queue_.schedule(when, std::move(fn));
+}
+
+EventQueue::EventId
+Kernel::after(Tick delay, EventFn fn)
+{
+    return queue_.schedule(now_ + delay, std::move(fn));
+}
+
+Tick
+Kernel::run(Tick until)
+{
+    stopRequested_ = false;
+    while (!queue_.empty() && !stopRequested_) {
+        const Tick next = queue_.nextTick();
+        if (next > until) {
+            now_ = until;
+            return now_;
+        }
+        now_ = next;
+        queue_.executeNext();
+    }
+    if (until != kTickNever && now_ < until)
+        now_ = until;
+    return now_;
+}
+
+} // namespace dvsnet::sim

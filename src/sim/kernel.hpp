@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Simulation kernel: owns the event queue and the global clock (`now`).
+ *
+ * The kernel is deliberately minimal — components schedule callbacks and
+ * read the current time.  Clock-domain arithmetic lives in sim/clock.hpp;
+ * the network's synchronous router step is just a self-rescheduling event.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "sim/event_queue.hpp"
+
+namespace dvsnet::sim
+{
+
+/** Owns simulated time and drives the event queue. */
+class Kernel
+{
+  public:
+    Kernel() = default;
+    Kernel(const Kernel &) = delete;
+    Kernel &operator=(const Kernel &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Schedule at an absolute tick (must be >= now). */
+    EventQueue::EventId at(Tick when, EventFn fn);
+
+    /** Schedule after a relative delay. */
+    EventQueue::EventId after(Tick delay, EventFn fn);
+
+    /** Cancel a pending event. */
+    bool cancel(EventQueue::EventId id) { return queue_.cancel(id); }
+
+    /**
+     * Run until the queue drains or simulated time would exceed `until`.
+     * Events exactly at `until` still execute.  Returns the final time
+     * (== `until` if the horizon was hit).
+     */
+    Tick run(Tick until = kTickNever);
+
+    /** Stop a run() in progress after the current event completes. */
+    void stop() { stopRequested_ = true; }
+
+    /** Number of pending events. */
+    std::size_t pendingEvents() const { return queue_.size(); }
+
+    /** Total events executed since construction. */
+    std::uint64_t executedEvents() const { return queue_.executedCount(); }
+
+  private:
+    EventQueue queue_;
+    Tick now_ = 0;
+    bool stopRequested_ = false;
+};
+
+} // namespace dvsnet::sim

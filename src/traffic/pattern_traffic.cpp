@@ -1,0 +1,41 @@
+#include "traffic/pattern_traffic.hpp"
+
+#include "common/fatal.hpp"
+
+namespace dvsnet::traffic
+{
+
+PatternTraffic::PatternTraffic(const topo::KAryNCube &topo, Pattern pattern,
+                               double packetsPerNodePerCycle,
+                               std::uint64_t seed)
+    : topo_(topo), pattern_(pattern), rate_(packetsPerNodePerCycle),
+      rng_(seed)
+{
+    DVSNET_ASSERT(rate_ > 0, "injection rate must be positive");
+}
+
+void
+PatternTraffic::start(sim::Kernel &kernel, PacketSink sink)
+{
+    kernel_ = &kernel;
+    sink_ = std::move(sink);
+    for (NodeId node = 0; node < topo_.numNodes(); ++node)
+        scheduleNext(node);
+}
+
+void
+PatternTraffic::scheduleNext(NodeId node)
+{
+    // Poisson process: exponential inter-arrival with mean 1/rate cycles.
+    const double gapCycles = rng_.exponential(1.0 / rate_);
+    const Tick gap = static_cast<Tick>(
+        gapCycles * static_cast<double>(kRouterClockPeriod) + 0.5);
+    kernel_->after(std::max<Tick>(gap, 1), [this, node] {
+        const NodeId dst = patternDestination(pattern_, node, topo_, rng_);
+        if (dst != node)
+            sink_(node, dst);
+        scheduleNext(node);
+    });
+}
+
+} // namespace dvsnet::traffic

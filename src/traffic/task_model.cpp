@@ -1,0 +1,136 @@
+#include "traffic/task_model.hpp"
+
+#include <algorithm>
+
+#include "common/fatal.hpp"
+
+namespace dvsnet::traffic
+{
+
+TwoLevelWorkload::TwoLevelWorkload(const topo::KAryNCube &topo,
+                                   const TwoLevelParams &params)
+    : topo_(topo), params_(params), rng_(params.seed)
+{
+    DVSNET_ASSERT(params.avgConcurrentTasks > 0,
+                  "need a positive task concurrency");
+    DVSNET_ASSERT(params.meanTaskDurationCycles > 0,
+                  "need a positive task duration");
+    DVSNET_ASSERT(params.networkInjectionRate > 0,
+                  "need a positive injection rate");
+    DVSNET_ASSERT(params.durationSpread >= 0 && params.durationSpread < 1,
+                  "duration spread must be in [0, 1)");
+    DVSNET_ASSERT(params.rateSpread >= 0 && params.rateSpread < 1,
+                  "rate spread must be in [0, 1)");
+    DVSNET_ASSERT(params.pLocal >= 0 && params.pLocal <= 1,
+                  "pLocal must be a probability");
+
+    spheres_.resize(static_cast<std::size_t>(topo.numNodes()));
+    for (NodeId n = 0; n < topo.numNodes(); ++n) {
+        spheres_[static_cast<std::size_t>(n)] =
+            topo.nodesWithin(n, params.localityRadius);
+        DVSNET_ASSERT(!spheres_[static_cast<std::size_t>(n)].empty(),
+                      "locality sphere is empty");
+    }
+}
+
+NodeId
+TwoLevelWorkload::localityDestination(NodeId src, Rng &rng) const
+{
+    if (rng.bernoulli(params_.pLocal)) {
+        const auto &sphere = spheres_[static_cast<std::size_t>(src)];
+        return sphere[rng.uniformInt(
+            static_cast<std::uint64_t>(sphere.size()))];
+    }
+    NodeId dst = static_cast<NodeId>(rng.uniformInt(
+        static_cast<std::uint64_t>(topo_.numNodes() - 1)));
+    if (dst >= src)
+        ++dst;
+    return dst;
+}
+
+void
+TwoLevelWorkload::start(sim::Kernel &kernel, PacketSink sink)
+{
+    kernel_ = &kernel;
+    sink_ = std::move(sink);
+
+    // Initial population at (approximate) steady state.
+    const auto initial = static_cast<std::int64_t>(
+        params_.avgConcurrentTasks + 0.5);
+    for (std::int64_t i = 0; i < initial; ++i)
+        spawnTask(/*initialPopulation=*/true);
+
+    scheduleNextArrival();
+}
+
+void
+TwoLevelWorkload::scheduleNextArrival()
+{
+    // Poisson session arrivals with rate concurrency / mean-duration
+    // (Little's law keeps the average population at the target).
+    const double meanGapCycles =
+        params_.meanTaskDurationCycles / params_.avgConcurrentTasks;
+    const double gapCycles = rng_.exponential(meanGapCycles);
+    const Tick gap = std::max<Tick>(
+        static_cast<Tick>(gapCycles *
+                          static_cast<double>(kRouterClockPeriod) + 0.5),
+        1);
+    kernel_->after(gap, [this] {
+        spawnTask(/*initialPopulation=*/false);
+        scheduleNextArrival();
+    });
+}
+
+void
+TwoLevelWorkload::spawnTask(bool initialPopulation)
+{
+    auto task = std::make_unique<Task>();
+    task->src = static_cast<NodeId>(
+        rng_.uniformInt(static_cast<std::uint64_t>(topo_.numNodes())));
+    task->dst = localityDestination(task->src, rng_);
+
+    // Heterogeneous interleaved workloads: uniform duration and rate.
+    double durationCycles = params_.meanTaskDurationCycles *
+        rng_.uniform(1.0 - params_.durationSpread,
+                     1.0 + params_.durationSpread);
+    if (initialPopulation) {
+        // Residual lifetime for the warm-start population.
+        durationCycles *= rng_.uniform();
+        durationCycles = std::max(durationCycles, 1.0);
+    }
+
+    const double meanTaskRate =
+        params_.networkInjectionRate / params_.avgConcurrentTasks;
+    const double taskRate = meanTaskRate *
+        rng_.uniform(1.0 - params_.rateSpread, 1.0 + params_.rateSpread);
+
+    Task *raw = task.get();
+    task->bank = std::make_unique<OnOffSourceBank>(
+        *kernel_, params_.sourcesPerTask, taskRate, params_.onOff,
+        rng_.fork(), [this, raw] {
+            ++stats_.packetsGenerated;
+            if (params_.perPacketDestination) {
+                sink_(raw->src, localityDestination(raw->src, rng_));
+            } else {
+                sink_(raw->src, raw->dst);
+            }
+        });
+    task->bank->start();
+
+    ++activeTasks_;
+    ++stats_.tasksSpawned;
+
+    const Tick lifetime = std::max<Tick>(
+        static_cast<Tick>(durationCycles *
+                          static_cast<double>(kRouterClockPeriod) + 0.5),
+        1);
+    kernel_->after(lifetime, [this, raw] {
+        raw->bank->stop();
+        --activeTasks_;
+        ++stats_.tasksCompleted;
+    });
+
+    tasks_.push_back(std::move(task));
+}
+
+} // namespace dvsnet::traffic

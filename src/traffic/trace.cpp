@@ -1,0 +1,102 @@
+#include "traffic/trace.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/fatal.hpp"
+
+namespace dvsnet::traffic
+{
+
+void
+Trace::append(Tick when, NodeId src, NodeId dst)
+{
+    DVSNET_ASSERT(entries_.empty() || when >= entries_.back().when,
+                  "trace times must be non-decreasing");
+    entries_.push_back({when, src, dst});
+}
+
+std::string
+Trace::toCsv() const
+{
+    std::ostringstream oss;
+    oss << "tick,src,dst\n";
+    for (const auto &e : entries_)
+        oss << e.when << "," << e.src << "," << e.dst << "\n";
+    return oss.str();
+}
+
+Trace
+Trace::fromCsv(const std::string &csv)
+{
+    Trace trace;
+    std::istringstream iss(csv);
+    std::string line;
+    bool first = true;
+    std::size_t lineNo = 0;
+    while (std::getline(iss, line)) {
+        ++lineNo;
+        if (line.empty())
+            continue;
+        if (first) {
+            first = false;
+            if (line.rfind("tick", 0) == 0)
+                continue;  // header
+        }
+        unsigned long long when = 0;
+        long src = 0, dst = 0;
+        if (std::sscanf(line.c_str(), "%llu,%ld,%ld", &when, &src,
+                        &dst) != 3) {
+            DVSNET_FATAL("malformed trace line ", lineNo, ": '", line,
+                         "'");
+        }
+        trace.append(static_cast<Tick>(when), static_cast<NodeId>(src),
+                     static_cast<NodeId>(dst));
+    }
+    return trace;
+}
+
+void
+Trace::save(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        DVSNET_FATAL("cannot open trace file '", path, "' for writing");
+    out << toCsv();
+}
+
+Trace
+Trace::load(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        DVSNET_FATAL("cannot open trace file '", path, "'");
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return fromCsv(oss.str());
+}
+
+void
+TraceTraffic::start(sim::Kernel &kernel, PacketSink sink)
+{
+    kernel_ = &kernel;
+    sink_ = std::move(sink);
+    if (!trace_.empty())
+        scheduleNext(0);
+}
+
+void
+TraceTraffic::scheduleNext(std::size_t index)
+{
+    const TraceEntry &e = trace_.entries()[index];
+    const Tick when = std::max(e.when, kernel_->now());
+    kernel_->at(when, [this, index] {
+        const TraceEntry &entry = trace_.entries()[index];
+        sink_(entry.src, entry.dst);
+        if (index + 1 < trace_.size())
+            scheduleNext(index + 1);
+    });
+}
+
+} // namespace dvsnet::traffic

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Traffic-generation interface.  Generators schedule themselves on the
+ * simulation kernel and hand (source, destination) packet requests to the
+ * network through a PacketSink; the network owns packetization, source
+ * queuing and injection flow control.
+ */
+
+#pragma once
+
+#include <functional>
+
+#include "common/types.hpp"
+#include "sim/kernel.hpp"
+
+namespace dvsnet::traffic
+{
+
+/** Callback a generator invokes to create one packet now. */
+using PacketSink = std::function<void(NodeId src, NodeId dst)>;
+
+/** A source of packet arrivals. */
+class TrafficGenerator
+{
+  public:
+    virtual ~TrafficGenerator() = default;
+
+    /** Begin generating; schedules events on `kernel`. */
+    virtual void start(sim::Kernel &kernel, PacketSink sink) = 0;
+
+    /** Short name for reports. */
+    virtual const char *name() const = 0;
+};
+
+} // namespace dvsnet::traffic

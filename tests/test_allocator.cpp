@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Separable allocator tests: structural invariants (one grant per
+ * resource and per requester), mask respect, fairness under contention.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "router/allocator.hpp"
+
+using dvsnet::PortId;
+using dvsnet::VcId;
+using dvsnet::router::SeparableSwitchAllocator;
+using dvsnet::router::SeparableVcAllocator;
+using dvsnet::router::SwitchRequest;
+using dvsnet::router::VcRequest;
+
+namespace
+{
+
+bool
+alwaysFree(PortId, VcId)
+{
+    return true;
+}
+
+} // namespace
+
+TEST(VcAllocator, EmptyRequestsEmptyGrants)
+{
+    SeparableVcAllocator va(5, 2, 10);
+    EXPECT_TRUE(va.allocate({}, alwaysFree).empty());
+}
+
+TEST(VcAllocator, SingleRequestGranted)
+{
+    SeparableVcAllocator va(5, 2, 10);
+    const auto grants = va.allocate({{3, 2, 0b11}}, alwaysFree);
+    ASSERT_EQ(grants.size(), 1u);
+    EXPECT_EQ(grants[0].requester, 3);
+    EXPECT_EQ(grants[0].outPort, 2);
+    EXPECT_TRUE(grants[0].outVc == 0 || grants[0].outVc == 1);
+}
+
+TEST(VcAllocator, RespectsVcMask)
+{
+    SeparableVcAllocator va(5, 2, 10);
+    const auto grants = va.allocate({{0, 1, 0b10}}, alwaysFree);
+    ASSERT_EQ(grants.size(), 1u);
+    EXPECT_EQ(grants[0].outVc, 1);
+}
+
+TEST(VcAllocator, RespectsBusyVcs)
+{
+    SeparableVcAllocator va(5, 2, 10);
+    auto onlyVc1Free = [](PortId, VcId vc) { return vc == 1; };
+    const auto grants = va.allocate({{0, 0, 0b11}}, onlyVc1Free);
+    ASSERT_EQ(grants.size(), 1u);
+    EXPECT_EQ(grants[0].outVc, 1);
+}
+
+TEST(VcAllocator, NoGrantWhenAllBusy)
+{
+    SeparableVcAllocator va(5, 2, 10);
+    auto noneFree = [](PortId, VcId) { return false; };
+    EXPECT_TRUE(va.allocate({{0, 0, 0b11}}, noneFree).empty());
+}
+
+TEST(VcAllocator, AtMostOneGrantPerRequester)
+{
+    SeparableVcAllocator va(2, 2, 4);
+    // One requester wanting both VCs of port 0: must get exactly one.
+    const auto grants = va.allocate({{1, 0, 0b11}}, alwaysFree);
+    EXPECT_EQ(grants.size(), 1u);
+}
+
+TEST(VcAllocator, AtMostOneGrantPerResource)
+{
+    SeparableVcAllocator va(2, 2, 4);
+    // Three requesters all wanting port 1: grants must hold distinct VCs.
+    const auto grants = va.allocate(
+        {{0, 1, 0b11}, {1, 1, 0b11}, {2, 1, 0b11}}, alwaysFree);
+    EXPECT_EQ(grants.size(), 2u);  // only 2 VCs exist on the port
+    std::set<VcId> vcs;
+    for (const auto &g : grants)
+        vcs.insert(g.outVc);
+    EXPECT_EQ(vcs.size(), grants.size());
+}
+
+TEST(VcAllocator, DisjointPortsAllGranted)
+{
+    SeparableVcAllocator va(4, 2, 8);
+    const auto grants = va.allocate(
+        {{0, 0, 0b01}, {1, 1, 0b01}, {2, 2, 0b01}, {3, 3, 0b01}},
+        alwaysFree);
+    EXPECT_EQ(grants.size(), 4u);
+}
+
+TEST(VcAllocator, ContendersEventuallyAllServed)
+{
+    SeparableVcAllocator va(1, 1, 3);
+    std::set<int> winners;
+    for (int round = 0; round < 3; ++round) {
+        const auto grants = va.allocate(
+            {{0, 0, 0b1}, {1, 0, 0b1}, {2, 0, 0b1}}, alwaysFree);
+        ASSERT_EQ(grants.size(), 1u);
+        winners.insert(grants[0].requester);
+    }
+    EXPECT_EQ(winners.size(), 3u);  // round-robin over three rounds
+}
+
+TEST(SwitchAllocator, EmptyRequestsEmptyGrants)
+{
+    SeparableSwitchAllocator sa(5, 2);
+    EXPECT_TRUE(sa.allocate({}).empty());
+}
+
+TEST(SwitchAllocator, SingleRequestGranted)
+{
+    SeparableSwitchAllocator sa(5, 2);
+    const auto grants = sa.allocate({{1, 0, 4}});
+    ASSERT_EQ(grants.size(), 1u);
+    EXPECT_EQ(grants[0].inPort, 1);
+    EXPECT_EQ(grants[0].inVc, 0);
+    EXPECT_EQ(grants[0].outPort, 4);
+}
+
+TEST(SwitchAllocator, OneGrantPerInputPort)
+{
+    SeparableSwitchAllocator sa(5, 2);
+    // Two VCs of input 0 requesting different outputs: input stage picks
+    // one.
+    const auto grants = sa.allocate({{0, 0, 1}, {0, 1, 2}});
+    EXPECT_EQ(grants.size(), 1u);
+}
+
+TEST(SwitchAllocator, OneGrantPerOutputPort)
+{
+    SeparableSwitchAllocator sa(5, 2);
+    // Three inputs contending for output 2.
+    const auto grants = sa.allocate({{0, 0, 2}, {1, 0, 2}, {3, 1, 2}});
+    EXPECT_EQ(grants.size(), 1u);
+    EXPECT_EQ(grants[0].outPort, 2);
+}
+
+TEST(SwitchAllocator, ParallelTransfersAllGranted)
+{
+    SeparableSwitchAllocator sa(5, 2);
+    const auto grants = sa.allocate({{0, 0, 1}, {1, 0, 2}, {2, 1, 3}});
+    EXPECT_EQ(grants.size(), 3u);
+}
+
+TEST(SwitchAllocator, GrantsAreASubsetOfRequests)
+{
+    SeparableSwitchAllocator sa(3, 2);
+    const std::vector<SwitchRequest> reqs{{0, 0, 1}, {1, 1, 1}, {2, 0, 0}};
+    for (const auto &g : sa.allocate(reqs)) {
+        bool found = false;
+        for (const auto &r : reqs) {
+            found |= r.inPort == g.inPort && r.inVc == g.inVc &&
+                     r.outPort == g.outPort;
+        }
+        EXPECT_TRUE(found);
+    }
+}
+
+TEST(SwitchAllocator, FairAcrossInputsOverRounds)
+{
+    SeparableSwitchAllocator sa(3, 1);
+    std::vector<int> wins(3, 0);
+    for (int round = 0; round < 300; ++round) {
+        const auto grants = sa.allocate({{0, 0, 2}, {1, 0, 2}, {2, 0, 2}});
+        ASSERT_EQ(grants.size(), 1u);
+        ++wins[static_cast<std::size_t>(grants[0].inPort)];
+    }
+    for (int w : wins)
+        EXPECT_EQ(w, 100);
+}
+
+TEST(SwitchAllocator, VcFairnessWithinInputPort)
+{
+    SeparableSwitchAllocator sa(2, 2);
+    std::vector<int> wins(2, 0);
+    for (int round = 0; round < 100; ++round) {
+        const auto grants = sa.allocate({{0, 0, 1}, {0, 1, 1}});
+        ASSERT_EQ(grants.size(), 1u);
+        ++wins[static_cast<std::size_t>(grants[0].inVc)];
+    }
+    EXPECT_EQ(wins[0], 50);
+    EXPECT_EQ(wins[1], 50);
+}

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Arbiter tests: grant validity, round-robin rotation fairness, matrix
+ * (least-recently-served) priority behavior.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "router/arbiter.hpp"
+
+using dvsnet::router::Arbiter;
+using dvsnet::router::MatrixArbiter;
+using dvsnet::router::RoundRobinArbiter;
+
+namespace
+{
+
+std::vector<bool>
+reqs(std::initializer_list<int> setBits, int n)
+{
+    std::vector<bool> r(static_cast<std::size_t>(n), false);
+    for (int b : setBits)
+        r[static_cast<std::size_t>(b)] = true;
+    return r;
+}
+
+} // namespace
+
+TEST(RoundRobinArbiter, NoRequestsNoGrant)
+{
+    RoundRobinArbiter arb(4);
+    EXPECT_EQ(arb.arbitrate(reqs({}, 4)), -1);
+}
+
+TEST(RoundRobinArbiter, SingleRequestWins)
+{
+    RoundRobinArbiter arb(4);
+    EXPECT_EQ(arb.arbitrate(reqs({2}, 4)), 2);
+}
+
+TEST(RoundRobinArbiter, GrantIsAlwaysARequester)
+{
+    RoundRobinArbiter arb(5);
+    for (int round = 0; round < 20; ++round) {
+        const auto r = reqs({round % 5, (round * 3) % 5}, 5);
+        const int g = arb.arbitrate(r);
+        ASSERT_GE(g, 0);
+        EXPECT_TRUE(r[static_cast<std::size_t>(g)]);
+    }
+}
+
+TEST(RoundRobinArbiter, RotatesAmongContenders)
+{
+    RoundRobinArbiter arb(3);
+    const auto all = reqs({0, 1, 2}, 3);
+    std::vector<int> grants;
+    for (int i = 0; i < 6; ++i)
+        grants.push_back(arb.arbitrate(all));
+    // Fair rotation: each requester wins exactly twice in six rounds.
+    for (int who = 0; who < 3; ++who)
+        EXPECT_EQ(std::count(grants.begin(), grants.end(), who), 2);
+    // And never the same winner twice in a row.
+    for (std::size_t i = 1; i < grants.size(); ++i)
+        EXPECT_NE(grants[i], grants[i - 1]);
+}
+
+TEST(RoundRobinArbiter, SkipsNonRequesters)
+{
+    RoundRobinArbiter arb(4);
+    EXPECT_EQ(arb.arbitrate(reqs({0}, 4)), 0);
+    // Pointer now at 1; 1 and 2 silent, 3 requesting.
+    EXPECT_EQ(arb.arbitrate(reqs({3}, 4)), 3);
+    // Pointer wraps to 0.
+    EXPECT_EQ(arb.arbitrate(reqs({0, 3}, 4)), 0);
+}
+
+TEST(RoundRobinArbiter, LongTermFairnessUnderFullLoad)
+{
+    RoundRobinArbiter arb(8);
+    const auto all = reqs({0, 1, 2, 3, 4, 5, 6, 7}, 8);
+    std::vector<int> wins(8, 0);
+    for (int i = 0; i < 800; ++i)
+        ++wins[static_cast<std::size_t>(arb.arbitrate(all))];
+    for (int w : wins)
+        EXPECT_EQ(w, 100);
+}
+
+TEST(MatrixArbiter, NoRequestsNoGrant)
+{
+    MatrixArbiter arb(4);
+    EXPECT_EQ(arb.arbitrate(reqs({}, 4)), -1);
+}
+
+TEST(MatrixArbiter, SingleRequestWins)
+{
+    MatrixArbiter arb(4);
+    EXPECT_EQ(arb.arbitrate(reqs({3}, 4)), 3);
+}
+
+TEST(MatrixArbiter, InitialPriorityFavorsLowIndex)
+{
+    MatrixArbiter arb(4);
+    EXPECT_EQ(arb.arbitrate(reqs({1, 2}, 4)), 1);
+}
+
+TEST(MatrixArbiter, WinnerBecomesLowestPriority)
+{
+    MatrixArbiter arb(3);
+    const auto all = reqs({0, 1, 2}, 3);
+    EXPECT_EQ(arb.arbitrate(all), 0);
+    EXPECT_EQ(arb.arbitrate(all), 1);
+    EXPECT_EQ(arb.arbitrate(all), 2);
+    EXPECT_EQ(arb.arbitrate(all), 0);
+}
+
+TEST(MatrixArbiter, LeastRecentlyServedWins)
+{
+    MatrixArbiter arb(3);
+    // 0 wins, then 1 wins; now with {0,1} requesting, 0 is older.
+    arb.arbitrate(reqs({0, 1, 2}, 3));
+    arb.arbitrate(reqs({1}, 3));
+    EXPECT_EQ(arb.arbitrate(reqs({0, 1}, 3)), 0);
+}
+
+TEST(MatrixArbiter, LongTermFairnessUnderFullLoad)
+{
+    MatrixArbiter arb(5);
+    const auto all = reqs({0, 1, 2, 3, 4}, 5);
+    std::vector<int> wins(5, 0);
+    for (int i = 0; i < 500; ++i)
+        ++wins[static_cast<std::size_t>(arb.arbitrate(all))];
+    for (int w : wins)
+        EXPECT_EQ(w, 100);
+}

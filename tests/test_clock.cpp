@@ -1,0 +1,76 @@
+/** @file Clock-domain arithmetic tests. */
+
+#include <gtest/gtest.h>
+
+#include "sim/clock.hpp"
+
+using dvsnet::Tick;
+using dvsnet::sim::Clock;
+
+TEST(Clock, PeriodAndFrequencyAgree)
+{
+    const Clock c(1000);  // 1 GHz in ps
+    EXPECT_EQ(c.period(), Tick{1000});
+    EXPECT_DOUBLE_EQ(c.frequencyHz(), 1e9);
+}
+
+TEST(Clock, FromHzRoundTrip)
+{
+    const Clock c = Clock::fromHz(125e6);
+    EXPECT_EQ(c.period(), Tick{8000});
+    EXPECT_DOUBLE_EQ(c.frequencyHz(), 125e6);
+}
+
+TEST(Clock, FromHzRoundsToNearestTick)
+{
+    // 1 GHz / 0.9028 -> ~1107.7 ps, rounds to 1108.
+    const Clock c = Clock::fromHz(902.777e6);
+    EXPECT_EQ(c.period(), Tick{1108});
+}
+
+TEST(Clock, NextEdgeOnBoundaryIsIdentity)
+{
+    const Clock c(1000);
+    EXPECT_EQ(c.nextEdge(0), Tick{0});
+    EXPECT_EQ(c.nextEdge(3000), Tick{3000});
+}
+
+TEST(Clock, NextEdgeRoundsUp)
+{
+    const Clock c(1000);
+    EXPECT_EQ(c.nextEdge(1), Tick{1000});
+    EXPECT_EQ(c.nextEdge(999), Tick{1000});
+    EXPECT_EQ(c.nextEdge(1001), Tick{2000});
+}
+
+TEST(Clock, EdgeAfterIsStrict)
+{
+    const Clock c(1000);
+    EXPECT_EQ(c.edgeAfter(0), Tick{1000});
+    EXPECT_EQ(c.edgeAfter(1000), Tick{2000});
+    EXPECT_EQ(c.edgeAfter(1500), Tick{2000});
+}
+
+TEST(Clock, CycleCounting)
+{
+    const Clock c(8000);  // 125 MHz
+    EXPECT_EQ(c.cycles(0), 0u);
+    EXPECT_EQ(c.cycles(7999), 0u);
+    EXPECT_EQ(c.cycles(8000), 1u);
+    EXPECT_EQ(c.cycleStart(3), Tick{24000});
+}
+
+TEST(Clock, RouterClockIsOneGigahertz)
+{
+    EXPECT_EQ(dvsnet::sim::routerClock().period(),
+              dvsnet::kRouterClockPeriod);
+    EXPECT_DOUBLE_EQ(dvsnet::sim::routerClock().frequencyHz(), 1e9);
+}
+
+TEST(ClockConversions, SecondsAndCycles)
+{
+    EXPECT_EQ(dvsnet::secondsToTicks(10e-6), Tick{10000000});  // 10 us
+    EXPECT_DOUBLE_EQ(dvsnet::ticksToSeconds(1000000), 1e-6);
+    EXPECT_EQ(dvsnet::cyclesToTicks(200), Tick{200000});
+    EXPECT_EQ(dvsnet::ticksToCycles(200999), 200u);
+}

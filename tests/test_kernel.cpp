@@ -1,0 +1,124 @@
+/** @file Kernel tests: time advancement, horizons, stop, relative delays. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/kernel.hpp"
+
+using dvsnet::Tick;
+using dvsnet::kTickNever;
+using dvsnet::sim::Kernel;
+
+TEST(Kernel, StartsAtZero)
+{
+    Kernel k;
+    EXPECT_EQ(k.now(), Tick{0});
+}
+
+TEST(Kernel, RunAdvancesToEventTimes)
+{
+    Kernel k;
+    Tick seen = 0;
+    k.at(500, [&] { seen = k.now(); });
+    k.run();
+    EXPECT_EQ(seen, Tick{500});
+    EXPECT_EQ(k.now(), Tick{500});
+}
+
+TEST(Kernel, AfterIsRelative)
+{
+    Kernel k;
+    std::vector<Tick> times;
+    k.at(100, [&] {
+        k.after(50, [&] { times.push_back(k.now()); });
+    });
+    k.run();
+    ASSERT_EQ(times.size(), 1u);
+    EXPECT_EQ(times[0], Tick{150});
+}
+
+TEST(Kernel, HorizonStopsBeforeLaterEvents)
+{
+    Kernel k;
+    bool early = false, late = false;
+    k.at(10, [&] { early = true; });
+    k.at(100, [&] { late = true; });
+    k.run(50);
+    EXPECT_TRUE(early);
+    EXPECT_FALSE(late);
+    EXPECT_EQ(k.now(), Tick{50});
+    EXPECT_EQ(k.pendingEvents(), 1u);
+}
+
+TEST(Kernel, EventExactlyAtHorizonRuns)
+{
+    Kernel k;
+    bool fired = false;
+    k.at(50, [&] { fired = true; });
+    k.run(50);
+    EXPECT_TRUE(fired);
+}
+
+TEST(Kernel, ResumeAfterHorizon)
+{
+    Kernel k;
+    bool late = false;
+    k.at(100, [&] { late = true; });
+    k.run(50);
+    EXPECT_FALSE(late);
+    k.run(150);
+    EXPECT_TRUE(late);
+}
+
+TEST(Kernel, HorizonWithEmptyQueueAdvancesClock)
+{
+    Kernel k;
+    k.run(1000);
+    EXPECT_EQ(k.now(), Tick{1000});
+}
+
+TEST(Kernel, StopEndsRun)
+{
+    Kernel k;
+    int fired = 0;
+    k.at(10, [&] {
+        ++fired;
+        k.stop();
+    });
+    k.at(20, [&] { ++fired; });
+    k.run();
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(k.pendingEvents(), 1u);
+}
+
+TEST(Kernel, CancelPendingEvent)
+{
+    Kernel k;
+    bool fired = false;
+    const auto id = k.at(10, [&] { fired = true; });
+    EXPECT_TRUE(k.cancel(id));
+    k.run(100);
+    EXPECT_FALSE(fired);
+}
+
+TEST(Kernel, SelfReschedulingChainRespectsHorizon)
+{
+    Kernel k;
+    int ticks = 0;
+    std::function<void()> step = [&] {
+        ++ticks;
+        k.after(10, step);
+    };
+    k.at(10, step);
+    k.run(100);
+    EXPECT_EQ(ticks, 10);  // fired at 10, 20, ..., 100
+}
+
+TEST(KernelDeathTest, SchedulingInThePastPanics)
+{
+    Kernel k;
+    k.at(100, [] {});
+    k.run();
+    EXPECT_DEATH(k.at(50, [] {}), "scheduling into the past");
+}

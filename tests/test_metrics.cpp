@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Metrics collector tests: latency accounting per the paper's definition,
+ * measurement-window filtering, flit-integrity checking.
+ */
+
+#include <gtest/gtest.h>
+
+#include "network/metrics.hpp"
+
+using dvsnet::Tick;
+using dvsnet::cyclesToTicks;
+using dvsnet::network::MetricsCollector;
+using dvsnet::router::Flit;
+using dvsnet::router::PacketDesc;
+
+namespace
+{
+
+PacketDesc
+desc(std::uint64_t id, Tick created, std::uint16_t len = 5)
+{
+    PacketDesc d;
+    d.id = id;
+    d.src = 0;
+    d.dst = 1;
+    d.length = len;
+    d.created = created;
+    return d;
+}
+
+Flit
+flit(std::uint64_t id, std::uint16_t seq, std::uint16_t len, Tick created)
+{
+    Flit f;
+    f.packet = id;
+    f.seq = seq;
+    f.packetLen = len;
+    f.created = created;
+    return f;
+}
+
+} // namespace
+
+TEST(Metrics, LatencySpansCreationToTailEjection)
+{
+    MetricsCollector m;
+    m.onPacketCreated(desc(1, cyclesToTicks(10), 2));
+    m.onFlitEjected(flit(1, 0, 2, cyclesToTicks(10)), cyclesToTicks(50));
+    const bool done =
+        m.onFlitEjected(flit(1, 1, 2, cyclesToTicks(10)),
+                        cyclesToTicks(60));
+    EXPECT_TRUE(done);
+    EXPECT_EQ(m.latency().count(), 1u);
+    EXPECT_DOUBLE_EQ(m.latency().mean(), 50.0);
+}
+
+TEST(Metrics, CountsCreatedAndDelivered)
+{
+    MetricsCollector m;
+    m.onPacketCreated(desc(1, 100, 1));
+    m.onPacketCreated(desc(2, 200, 1));
+    m.onFlitEjected(flit(1, 0, 1, 100), 500);
+    EXPECT_EQ(m.packetsCreated(), 2u);
+    EXPECT_EQ(m.packetsDelivered(), 1u);
+    EXPECT_EQ(m.inFlight(), 1u);
+}
+
+TEST(Metrics, WindowExcludesWarmupPackets)
+{
+    MetricsCollector m;
+    m.onPacketCreated(desc(1, 100, 1));  // warm-up packet
+    m.beginWindow(1000);
+    m.onPacketCreated(desc(2, 2000, 1));
+    EXPECT_EQ(m.packetsCreated(), 1u);
+
+    // Warm-up packet delivered inside the window: counts for throughput
+    // (flits/packets ejected) but not for latency.
+    m.onFlitEjected(flit(1, 0, 1, 100), 3000);
+    m.onFlitEjected(flit(2, 0, 1, 2000), 4000);
+    EXPECT_EQ(m.flitsEjected(), 2u);
+    EXPECT_EQ(m.packetsEjected(), 2u);
+    EXPECT_EQ(m.packetsDelivered(), 1u);
+    EXPECT_EQ(m.latency().count(), 1u);
+    EXPECT_DOUBLE_EQ(m.latency().mean(), 2.0);
+}
+
+TEST(Metrics, EjectionsBeforeWindowNotCounted)
+{
+    MetricsCollector m;
+    m.onPacketCreated(desc(1, 0, 1));
+    m.onFlitEjected(flit(1, 0, 1, 0), 500);
+    m.beginWindow(1000);
+    EXPECT_EQ(m.flitsEjected(), 0u);
+    EXPECT_EQ(m.packetsEjected(), 0u);
+}
+
+TEST(Metrics, LastEjectionTracksTime)
+{
+    MetricsCollector m;
+    m.onPacketCreated(desc(1, 0, 2));
+    m.onFlitEjected(flit(1, 0, 2, 0), 700);
+    EXPECT_EQ(m.lastEjection(), Tick{700});
+}
+
+TEST(MetricsDeathTest, ReorderedFlitPanics)
+{
+    MetricsCollector m;
+    m.onPacketCreated(desc(1, 0, 3));
+    m.onFlitEjected(flit(1, 0, 3, 0), 100);
+    EXPECT_DEATH(m.onFlitEjected(flit(1, 2, 3, 0), 200), "reorder");
+}
+
+TEST(MetricsDeathTest, UnknownPacketPanics)
+{
+    MetricsCollector m;
+    EXPECT_DEATH(m.onFlitEjected(flit(99, 0, 1, 0), 100), "unknown packet");
+}
+
+TEST(MetricsDeathTest, DuplicatePacketIdPanics)
+{
+    MetricsCollector m;
+    m.onPacketCreated(desc(1, 0, 1));
+    EXPECT_DEATH(m.onPacketCreated(desc(1, 0, 1)), "duplicate");
+}
+
+TEST(Metrics, MultiplePacketsAverageLatency)
+{
+    MetricsCollector m;
+    m.onPacketCreated(desc(1, 0, 1));
+    m.onPacketCreated(desc(2, 0, 1));
+    m.onFlitEjected(flit(1, 0, 1, 0), cyclesToTicks(10));
+    m.onFlitEjected(flit(2, 0, 1, 0), cyclesToTicks(30));
+    EXPECT_DOUBLE_EQ(m.latency().mean(), 20.0);
+    EXPECT_DOUBLE_EQ(m.latency().max(), 30.0);
+}

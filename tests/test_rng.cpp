@@ -1,0 +1,212 @@
+/**
+ * @file
+ * RNG and distribution tests: determinism, range contracts, and
+ * statistical agreement with the analytic distributions the workload
+ * model depends on (notably the Pareto CDF of Eq. 7).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+using dvsnet::Rng;
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 1000; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ForkProducesIndependentStream)
+{
+    Rng a(7);
+    Rng child = a.fork();
+    int same = 0;
+    for (int i = 0; i < 1000; ++i)
+        same += a.next() == child.next();
+    EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng rng(4);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(5);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform(2.5, 7.5);
+        EXPECT_GE(u, 2.5);
+        EXPECT_LT(u, 7.5);
+    }
+}
+
+TEST(Rng, UniformIntCoversRangeUniformly)
+{
+    Rng rng(6);
+    std::vector<int> counts(10, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.uniformInt(std::uint64_t{10})];
+    for (int c : counts)
+        EXPECT_NEAR(c, n / 10, n / 10 * 0.1);
+}
+
+TEST(Rng, UniformIntInclusiveBounds)
+{
+    Rng rng(7);
+    bool sawLo = false, sawHi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = rng.uniformInt(std::int64_t{-3}, std::int64_t{3});
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        sawLo |= v == -3;
+        sawHi |= v == 3;
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, BernoulliMatchesProbability)
+{
+    Rng rng(8);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMeanMatches)
+{
+    Rng rng(9);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(50.0);
+    EXPECT_NEAR(sum / n, 50.0, 1.0);
+}
+
+TEST(Rng, ParetoSamplesRespectLocation)
+{
+    Rng rng(10);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+}
+
+TEST(Rng, ParetoCdfMatchesAnalytic)
+{
+    // Empirical CDF vs F(x) = 1 - (a/x)^beta at several quantiles
+    // (a Kolmogorov-Smirnov-style check).
+    Rng rng(11);
+    const double a = 1.0, beta = 1.4;
+    const int n = 200000;
+    std::vector<double> samples(n);
+    for (auto &s : samples)
+        s = rng.pareto(a, beta);
+    std::sort(samples.begin(), samples.end());
+
+    for (double x : {1.2, 1.5, 2.0, 4.0, 10.0}) {
+        const auto below = std::lower_bound(samples.begin(), samples.end(),
+                                            x) - samples.begin();
+        const double empirical = static_cast<double>(below) / n;
+        const double analytic = 1.0 - std::pow(a / x, beta);
+        EXPECT_NEAR(empirical, analytic, 0.01) << "at x=" << x;
+    }
+}
+
+TEST(Rng, ParetoMeanMatchesForShapeAboveOne)
+{
+    Rng rng(12);
+    const double a = Rng::paretoLocationForMean(300.0, 1.4);
+    double sum = 0.0;
+    const int n = 2000000;  // heavy tail needs many samples
+    for (int i = 0; i < n; ++i)
+        sum += rng.pareto(a, 1.4);
+    // Infinite variance: accept 10% tolerance on the mean.
+    EXPECT_NEAR(sum / n, 300.0, 30.0);
+}
+
+TEST(Rng, ParetoLocationForMeanInvertsMeanFormula)
+{
+    const double a = Rng::paretoLocationForMean(600.0, 1.2);
+    EXPECT_NEAR(a * 1.2 / 0.2, 600.0, 1e-9);
+}
+
+TEST(Rng, PoissonMeanAndVarianceMatch)
+{
+    Rng rng(13);
+    const double mean = 7.5;
+    const int n = 100000;
+    double sum = 0.0, sumSq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double k = static_cast<double>(rng.poisson(mean));
+        sum += k;
+        sumSq += k * k;
+    }
+    const double m = sum / n;
+    const double var = sumSq / n - m * m;
+    EXPECT_NEAR(m, mean, 0.1);
+    EXPECT_NEAR(var, mean, 0.2);
+}
+
+TEST(Rng, PoissonLargeMeanUsesNormalApprox)
+{
+    Rng rng(14);
+    const double mean = 200.0;
+    const int n = 50000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(rng.poisson(mean));
+    EXPECT_NEAR(sum / n, mean, 2.0);
+}
+
+TEST(Rng, ShuffleIsAPermutation)
+{
+    Rng rng(15);
+    std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+    dvsnet::shuffle(v, rng);
+    std::vector<int> sorted = v;
+    std::sort(sorted.begin(), sorted.end());
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Rng, ShuffleChangesOrderEventually)
+{
+    Rng rng(16);
+    std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+    const std::vector<int> original = v;
+    dvsnet::shuffle(v, rng);
+    EXPECT_NE(v, original);  // p(identity) = 1/10! — negligible
+}

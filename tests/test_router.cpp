@@ -1,0 +1,342 @@
+/**
+ * @file
+ * Single-router microarchitecture tests using stub channels: pipeline
+ * latency, credit conservation, wormhole ordering, VC backpressure,
+ * BU/BA measurement taps.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "router/router.hpp"
+#include "router/routing.hpp"
+#include "topo/topology.hpp"
+
+using dvsnet::NodeId;
+using dvsnet::PortId;
+using dvsnet::Tick;
+using dvsnet::VcId;
+using dvsnet::cyclesToTicks;
+using dvsnet::kRouterClockPeriod;
+using dvsnet::router::DorRouting;
+using dvsnet::router::Flit;
+using dvsnet::router::Router;
+using dvsnet::router::RouterConfig;
+using dvsnet::topo::KAryNCube;
+
+namespace
+{
+
+/** Records every flit handed to the channel; always accepts. */
+class StubChannel final : public dvsnet::router::FlitChannel
+{
+  public:
+    bool canAccept(Tick) const override { return true; }
+
+    Tick
+    send(const Flit &flit, Tick earliest) override
+    {
+        sent.push_back({flit, earliest});
+        return earliest;
+    }
+
+    std::vector<std::pair<Flit, Tick>> sent;
+};
+
+/** Records credit returns. */
+class StubCreditPath final : public dvsnet::router::CreditChannel
+{
+  public:
+    void
+    sendCredit(VcId vc, Tick now) override
+    {
+        credits.push_back({vc, now});
+    }
+
+    std::vector<std::pair<VcId, Tick>> credits;
+};
+
+/** 2x2 mesh geometry: router 0 with +x neighbor 1 and +y neighbor 2. */
+struct Harness
+{
+    KAryNCube topo{2, 2, false};
+    DorRouting routing{topo, 2};
+    RouterConfig cfg;
+    Router router;
+    StubChannel xPlus, yPlus, terminal;
+    StubCreditPath creditBack;
+
+    Harness() : cfg(makeCfg()), router(0, cfg, routing)
+    {
+        router.connectOutput(KAryNCube::dirPort(0, true), &xPlus, 64);
+        router.connectOutput(KAryNCube::dirPort(1, true), &yPlus, 64);
+        router.connectOutput(topo.terminalPort(), &terminal, 1 << 20);
+        // Credits for flits consumed from the -x input port.
+        router.connectCreditReturn(KAryNCube::dirPort(0, false),
+                                   &creditBack);
+    }
+
+    static RouterConfig
+    makeCfg()
+    {
+        RouterConfig c;
+        c.numPorts = 5;
+        c.numVcs = 2;
+        c.bufferPerPort = 128;
+        c.pipelineLatency = 13;
+        return c;
+    }
+
+    /** Deliver a flit into an input port at cycle `cycle`. */
+    void
+    deliver(PortId inPort, const Flit &flit, dvsnet::Cycle cycle)
+    {
+        router.flitInbox(inPort).push(cyclesToTicks(cycle), flit);
+    }
+
+    /** Step the router through cycles [from, to]. */
+    void
+    stepTo(dvsnet::Cycle from, dvsnet::Cycle to)
+    {
+        for (dvsnet::Cycle c = from; c <= to; ++c)
+            router.step(cyclesToTicks(c));
+    }
+};
+
+Flit
+packetFlit(std::uint64_t pkt, std::uint16_t seq, std::uint16_t len,
+           NodeId dst, VcId vc)
+{
+    Flit f;
+    f.packet = pkt;
+    f.seq = seq;
+    f.packetLen = len;
+    f.src = 0;
+    f.dst = dst;
+    f.vc = vc;
+    return f;
+}
+
+} // namespace
+
+TEST(Router, HeadFlitTraversesAfterThreeStages)
+{
+    Harness h;
+    // Single-flit packet to node 1 (+x from node 0).
+    h.deliver(h.topo.terminalPort(), packetFlit(1, 0, 1, 1, 0), 1);
+    h.stepTo(1, 10);
+    ASSERT_EQ(h.xPlus.sent.size(), 1u);
+    // Arrives cycle 1: RC@1, VA@2, SA@3 -> handed to the channel with
+    // earliest = cycle 3 + (pipelineLatency - 2) = cycle 14.
+    EXPECT_EQ(h.xPlus.sent[0].second, cyclesToTicks(3 + 11));
+}
+
+TEST(Router, BodyFlitsFollowAtOnePerCycle)
+{
+    Harness h;
+    for (std::uint16_t s = 0; s < 5; ++s)
+        h.deliver(h.topo.terminalPort(), packetFlit(1, s, 5, 1, 0),
+                  1 + s);
+    h.stepTo(1, 12);
+    ASSERT_EQ(h.xPlus.sent.size(), 5u);
+    for (std::uint16_t s = 0; s < 5; ++s) {
+        EXPECT_EQ(h.xPlus.sent[s].first.seq, s);
+        EXPECT_EQ(h.xPlus.sent[s].second, cyclesToTicks(14 + s));
+    }
+}
+
+TEST(Router, FlitsKeepPacketOrder)
+{
+    Harness h;
+    for (std::uint16_t s = 0; s < 5; ++s)
+        h.deliver(KAryNCube::dirPort(0, false),
+                  packetFlit(7, s, 5, 1, 1), 1);
+    h.stepTo(1, 20);
+    ASSERT_EQ(h.xPlus.sent.size(), 5u);
+    for (std::uint16_t s = 0; s < 5; ++s)
+        EXPECT_EQ(h.xPlus.sent[s].first.seq, s);
+}
+
+TEST(Router, OutputFlitCarriesDownstreamVc)
+{
+    Harness h;
+    h.deliver(h.topo.terminalPort(), packetFlit(1, 0, 1, 1, 0), 1);
+    h.stepTo(1, 10);
+    ASSERT_EQ(h.xPlus.sent.size(), 1u);
+    const VcId outVc = h.xPlus.sent[0].first.vc;
+    EXPECT_TRUE(outVc == 0 || outVc == 1);
+}
+
+TEST(Router, CreditReturnedWhenFlitLeavesBuffer)
+{
+    Harness h;
+    h.deliver(KAryNCube::dirPort(0, false), packetFlit(1, 0, 1, 1, 1), 1);
+    h.stepTo(1, 10);
+    ASSERT_EQ(h.creditBack.credits.size(), 1u);
+    EXPECT_EQ(h.creditBack.credits[0].first, 1);  // the VC it occupied
+    EXPECT_EQ(h.creditBack.credits[0].second, cyclesToTicks(3));
+}
+
+TEST(Router, NoCreditForTerminalInjection)
+{
+    Harness h;
+    h.deliver(h.topo.terminalPort(), packetFlit(1, 0, 1, 1, 0), 1);
+    h.stepTo(1, 10);
+    EXPECT_TRUE(h.creditBack.credits.empty());
+}
+
+TEST(Router, CreditExhaustionStallsAndRecovers)
+{
+    Harness h;
+    // Rewire +x with only 2 credits per VC.
+    StubChannel tiny;
+    h.router.connectOutput(KAryNCube::dirPort(0, true), &tiny, 2);
+    for (std::uint16_t s = 0; s < 5; ++s)
+        h.deliver(h.topo.terminalPort(), packetFlit(1, s, 5, 1, 0), 1 + s);
+    h.stepTo(1, 30);
+    // Only 2 flits can leave before credits run dry.
+    EXPECT_EQ(tiny.sent.size(), 2u);
+
+    // Return one credit for the VC the packet holds.
+    const VcId vc = tiny.sent[0].first.vc;
+    h.router.creditInbox(KAryNCube::dirPort(0, true))
+        .push(cyclesToTicks(31), vc);
+    h.stepTo(31, 40);
+    EXPECT_EQ(tiny.sent.size(), 3u);
+}
+
+TEST(Router, TwoPacketsToDifferentOutputsProceedInParallel)
+{
+    Harness h;
+    h.deliver(h.topo.terminalPort(), packetFlit(1, 0, 1, 1, 0), 1);
+    h.deliver(KAryNCube::dirPort(0, false), packetFlit(2, 0, 1, 2, 0), 1);
+    h.stepTo(1, 12);
+    EXPECT_EQ(h.xPlus.sent.size(), 1u);
+    EXPECT_EQ(h.yPlus.sent.size(), 1u);
+}
+
+TEST(Router, SecondPacketInSameVcWaitsForTail)
+{
+    Harness h;
+    const PortId in = KAryNCube::dirPort(0, false);
+    // Two 2-flit packets back-to-back in the same input VC.
+    h.deliver(in, packetFlit(1, 0, 2, 1, 0), 1);
+    h.deliver(in, packetFlit(1, 1, 2, 1, 0), 2);
+    h.deliver(in, packetFlit(2, 0, 2, 1, 0), 3);
+    h.deliver(in, packetFlit(2, 1, 2, 1, 0), 4);
+    h.stepTo(1, 30);
+    ASSERT_EQ(h.xPlus.sent.size(), 4u);
+    // Packet 2's head re-runs RC/VA after packet 1's tail departs.
+    EXPECT_EQ(h.xPlus.sent[1].first.packet, 1u);
+    EXPECT_EQ(h.xPlus.sent[2].first.packet, 2u);
+    EXPECT_GE(h.xPlus.sent[2].second,
+              h.xPlus.sent[1].second + 2 * kRouterClockPeriod);
+}
+
+TEST(Router, BlockedChannelExertsBackpressure)
+{
+    // A channel that never accepts: flits stay buffered.
+    class ClosedChannel final : public dvsnet::router::FlitChannel
+    {
+      public:
+        bool canAccept(Tick) const override { return false; }
+        Tick send(const Flit &, Tick) override
+        {
+            ADD_FAILURE() << "send on closed channel";
+            return 0;
+        }
+    };
+
+    Harness h;
+    ClosedChannel closed;
+    h.router.connectOutput(KAryNCube::dirPort(0, true), &closed, 64);
+    h.deliver(h.topo.terminalPort(), packetFlit(1, 0, 1, 1, 0), 1);
+    h.stepTo(1, 20);
+    EXPECT_EQ(h.router.bufferOccupancy(h.topo.terminalPort()), 1u);
+    EXPECT_FALSE(h.router.idle());
+}
+
+TEST(Router, IdleReflectsState)
+{
+    Harness h;
+    EXPECT_TRUE(h.router.idle());
+    h.deliver(h.topo.terminalPort(), packetFlit(1, 0, 1, 1, 0), 1);
+    EXPECT_FALSE(h.router.idle());
+    h.stepTo(1, 10);
+    EXPECT_TRUE(h.router.idle());
+}
+
+TEST(Router, TerminalFreeSlotsTracksOccupancy)
+{
+    Harness h;
+    EXPECT_EQ(h.router.terminalFreeSlots(0), 64u);
+    h.deliver(h.topo.terminalPort(), packetFlit(1, 0, 5, 1, 0), 1);
+    h.router.step(cyclesToTicks(1));
+    EXPECT_EQ(h.router.terminalFreeSlots(0), 63u);
+}
+
+TEST(Router, BufferUtilWindowSeesDownstreamOccupancy)
+{
+    Harness h;
+    const PortId out = KAryNCube::dirPort(0, true);
+    h.deliver(h.topo.terminalPort(), packetFlit(1, 0, 1, 1, 0), 1);
+    h.stepTo(1, 10);
+    // One flit committed downstream, no credit returned yet: occupancy
+    // 1 of 128 for part of the window.
+    const double bu = h.router.takeBufferUtilWindow(out,
+                                                    cyclesToTicks(10));
+    EXPECT_GT(bu, 0.0);
+    EXPECT_LT(bu, 0.05);
+    EXPECT_NEAR(h.router.bufferUtilNow(out), 1.0 / 128.0, 1e-9);
+}
+
+TEST(Router, BufferAgeWindowCountsResidency)
+{
+    Harness h;
+    h.deliver(KAryNCube::dirPort(0, false), packetFlit(1, 0, 1, 1, 0), 1);
+    h.stepTo(1, 10);
+    const auto [ageSum, departed] =
+        h.router.takeBufferAgeWindow(KAryNCube::dirPort(0, false));
+    EXPECT_EQ(departed, 1u);
+    EXPECT_DOUBLE_EQ(ageSum, 2.0);  // arrived cycle 1, SA at cycle 3
+    // Window resets.
+    const auto [a2, d2] =
+        h.router.takeBufferAgeWindow(KAryNCube::dirPort(0, false));
+    EXPECT_EQ(d2, 0u);
+    EXPECT_DOUBLE_EQ(a2, 0.0);
+}
+
+TEST(Router, ForwardedWindowCounts)
+{
+    Harness h;
+    for (std::uint16_t s = 0; s < 3; ++s)
+        h.deliver(h.topo.terminalPort(), packetFlit(1, s, 3, 1, 0), 1 + s);
+    h.stepTo(1, 12);
+    const PortId out = KAryNCube::dirPort(0, true);
+    EXPECT_EQ(h.router.takeForwardedWindow(out), 3u);
+    EXPECT_EQ(h.router.takeForwardedWindow(out), 0u);
+}
+
+TEST(Router, StatsAccumulate)
+{
+    Harness h;
+    for (std::uint16_t s = 0; s < 5; ++s)
+        h.deliver(h.topo.terminalPort(), packetFlit(1, s, 5, 1, 0), 1 + s);
+    h.stepTo(1, 20);
+    EXPECT_EQ(h.router.stats().flitsArrived, 5u);
+    EXPECT_EQ(h.router.stats().flitsForwarded, 5u);
+    EXPECT_EQ(h.router.stats().headsRouted, 1u);
+    EXPECT_EQ(h.router.stats().vcGrants, 1u);
+    EXPECT_EQ(h.router.stats().switchGrants, 5u);
+}
+
+TEST(Router, EjectionAtDestination)
+{
+    Harness h;
+    // Packet addressed to node 0 itself: goes out the terminal port.
+    h.deliver(KAryNCube::dirPort(0, false), packetFlit(1, 0, 1, 0, 0), 1);
+    h.stepTo(1, 10);
+    EXPECT_EQ(h.terminal.sent.size(), 1u);
+    EXPECT_TRUE(h.xPlus.sent.empty());
+}

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Routing tests: DOR minimality, x-then-y ordering, torus dateline VC
+ * discipline, adaptive candidate sets and escape-path invariants.
+ * Property-style sweeps walk every (src, dst) pair.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "router/routing.hpp"
+#include "topo/topology.hpp"
+
+using dvsnet::NodeId;
+using dvsnet::PortId;
+using dvsnet::VcId;
+using dvsnet::router::DorRouting;
+using dvsnet::router::MinimalAdaptiveRouting;
+using dvsnet::router::RouteCandidate;
+using dvsnet::topo::KAryNCube;
+
+namespace
+{
+
+/** Walk a packet from src to dst with the given algorithm; returns hops.
+ *  Always follows the first candidate and the lowest allowed VC. */
+int
+walk(const dvsnet::router::RoutingAlgorithm &algo, const KAryNCube &topo,
+     NodeId src, NodeId dst, int maxHops = 100)
+{
+    std::vector<RouteCandidate> cands;
+    NodeId cur = src;
+    PortId inPort = topo.terminalPort();
+    VcId inVc = 0;
+    int hops = 0;
+    while (hops <= maxHops) {
+        algo.route(cur, inPort, inVc, dst, cands);
+        if (cands[0].outPort == topo.terminalPort()) {
+            EXPECT_EQ(cur, dst);
+            return hops;
+        }
+        const auto &c = cands[0];
+        EXPECT_NE(c.vcMask, 0u);
+        VcId vc = 0;
+        while (!(c.vcMask & (1u << vc)))
+            ++vc;
+        const NodeId next = topo.neighbor(cur, c.outPort);
+        EXPECT_NE(next, dvsnet::kInvalidId);
+        inPort = KAryNCube::oppositePort(c.outPort);
+        inVc = vc;
+        cur = next;
+        ++hops;
+    }
+    ADD_FAILURE() << "walk exceeded " << maxHops << " hops";
+    return hops;
+}
+
+} // namespace
+
+TEST(DorMesh, DeliversToTerminalAtDestination)
+{
+    const KAryNCube m(4, 2, false);
+    const DorRouting dor(m, 2);
+    std::vector<RouteCandidate> cands;
+    dor.route(5, m.terminalPort(), 0, 5, cands);
+    ASSERT_EQ(cands.size(), 1u);
+    EXPECT_EQ(cands[0].outPort, m.terminalPort());
+}
+
+TEST(DorMesh, AllPairsMinimal)
+{
+    const KAryNCube m(5, 2, false);
+    const DorRouting dor(m, 2);
+    for (NodeId s = 0; s < m.numNodes(); ++s) {
+        for (NodeId d = 0; d < m.numNodes(); ++d) {
+            if (s == d)
+                continue;
+            EXPECT_EQ(walk(dor, m, s, d), m.hopDistance(s, d))
+                << "src=" << s << " dst=" << d;
+        }
+    }
+}
+
+TEST(DorMesh, XBeforeY)
+{
+    const KAryNCube m(8, 2, false);
+    const DorRouting dor(m, 2);
+    std::vector<RouteCandidate> cands;
+    // From (0,0) to (3,3): must move in x first.
+    dor.route(m.nodeId({0, 0}), m.terminalPort(), 0, m.nodeId({3, 3}),
+              cands);
+    ASSERT_EQ(cands.size(), 1u);
+    EXPECT_EQ(cands[0].outPort, KAryNCube::dirPort(0, true));
+    // From (3,0) to (3,3): x resolved, move in y.
+    dor.route(m.nodeId({3, 0}), KAryNCube::dirPort(0, false), 0,
+              m.nodeId({3, 3}), cands);
+    EXPECT_EQ(cands[0].outPort, KAryNCube::dirPort(1, true));
+}
+
+TEST(DorMesh, AllVcsAllowedOnMesh)
+{
+    const KAryNCube m(4, 2, false);
+    const DorRouting dor(m, 2);
+    std::vector<RouteCandidate> cands;
+    dor.route(0, m.terminalPort(), 0, 5, cands);
+    EXPECT_EQ(cands[0].vcMask, 0b11u);
+}
+
+TEST(DorMesh, ThreeDimensional)
+{
+    const KAryNCube m(3, 3, false);
+    const DorRouting dor(m, 2);
+    for (NodeId s = 0; s < m.numNodes(); s += 2) {
+        for (NodeId d = 0; d < m.numNodes(); d += 3) {
+            if (s == d)
+                continue;
+            EXPECT_EQ(walk(dor, m, s, d), m.hopDistance(s, d));
+        }
+    }
+}
+
+TEST(DorTorus, AllPairsMinimal)
+{
+    const KAryNCube t(5, 2, true);
+    const DorRouting dor(t, 2);
+    for (NodeId s = 0; s < t.numNodes(); ++s) {
+        for (NodeId d = 0; d < t.numNodes(); ++d) {
+            if (s == d)
+                continue;
+            EXPECT_EQ(walk(dor, t, s, d), t.hopDistance(s, d))
+                << "src=" << s << " dst=" << d;
+        }
+    }
+}
+
+TEST(DorTorus, NonWrappingRouteStaysOnVcZero)
+{
+    const KAryNCube t(8, 2, true);
+    const DorRouting dor(t, 2);
+    std::vector<RouteCandidate> cands;
+    // (1,0) -> (3,0): forward distance 2, no wrap.
+    dor.route(t.nodeId({1, 0}), t.terminalPort(), 0, t.nodeId({3, 0}),
+              cands);
+    EXPECT_EQ(cands[0].vcMask, 0b01u);
+}
+
+TEST(DorTorus, WrappingHopSwitchesToVcOne)
+{
+    const KAryNCube t(8, 2, true);
+    const DorRouting dor(t, 2);
+    std::vector<RouteCandidate> cands;
+    // (7,0) -> (1,0): shorter way wraps through the 7->0 edge, which is
+    // the dateline crossing itself.
+    dor.route(t.nodeId({7, 0}), t.terminalPort(), 0, t.nodeId({1, 0}),
+              cands);
+    EXPECT_EQ(cands[0].outPort, KAryNCube::dirPort(0, true));
+    EXPECT_EQ(cands[0].vcMask, 0b10u);
+}
+
+TEST(DorTorus, AfterCrossingStaysOnVcOneWithinDimension)
+{
+    const KAryNCube t(8, 2, true);
+    const DorRouting dor(t, 2);
+    std::vector<RouteCandidate> cands;
+    // Packet that wrapped into (0,0) continuing +x to (2,0), arriving on
+    // VC 1 from the -x side: must stay on VC 1.
+    dor.route(t.nodeId({0, 0}), KAryNCube::dirPort(0, false), 1,
+              t.nodeId({2, 0}), cands);
+    EXPECT_EQ(cands[0].vcMask, 0b10u);
+}
+
+TEST(DorTorus, NewDimensionResetsToVcZero)
+{
+    const KAryNCube t(8, 2, true);
+    const DorRouting dor(t, 2);
+    std::vector<RouteCandidate> cands;
+    // Packet arrived on VC 1 in x, now turning into y without a wrap:
+    // the y dateline state restarts at VC 0.
+    dor.route(t.nodeId({2, 1}), KAryNCube::dirPort(0, false), 1,
+              t.nodeId({2, 3}), cands);
+    EXPECT_EQ(cands[0].outPort, KAryNCube::dirPort(1, true));
+    EXPECT_EQ(cands[0].vcMask, 0b01u);
+}
+
+TEST(Adaptive, AllPairsWalksAreMinimal)
+{
+    const KAryNCube m(5, 2, false);
+    const MinimalAdaptiveRouting ada(m, 2);
+    for (NodeId s = 0; s < m.numNodes(); ++s) {
+        for (NodeId d = 0; d < m.numNodes(); ++d) {
+            if (s == d)
+                continue;
+            EXPECT_EQ(walk(ada, m, s, d), m.hopDistance(s, d));
+        }
+    }
+}
+
+TEST(Adaptive, OffersBothProductiveDirections)
+{
+    const KAryNCube m(8, 2, false);
+    const MinimalAdaptiveRouting ada(m, 2);
+    std::vector<RouteCandidate> cands;
+    ada.route(m.nodeId({2, 2}), m.terminalPort(), 0, m.nodeId({5, 5}),
+              cands);
+    // +x adaptive, +y adaptive, +x escape.
+    ASSERT_EQ(cands.size(), 3u);
+    EXPECT_EQ(cands[0].outPort, KAryNCube::dirPort(0, true));
+    EXPECT_EQ(cands[1].outPort, KAryNCube::dirPort(1, true));
+}
+
+TEST(Adaptive, EscapeCandidateIsDorOnVcZero)
+{
+    const KAryNCube m(8, 2, false);
+    const MinimalAdaptiveRouting ada(m, 2);
+    std::vector<RouteCandidate> cands;
+    ada.route(m.nodeId({2, 2}), m.terminalPort(), 0, m.nodeId({5, 5}),
+              cands);
+    const auto &escape = cands.back();
+    EXPECT_EQ(escape.outPort, KAryNCube::dirPort(0, true));  // x first
+    EXPECT_EQ(escape.vcMask, 0b01u);
+}
+
+TEST(Adaptive, AdaptiveCandidatesAvoidEscapeVc)
+{
+    const KAryNCube m(8, 2, false);
+    const MinimalAdaptiveRouting ada(m, 2);
+    std::vector<RouteCandidate> cands;
+    ada.route(m.nodeId({1, 1}), m.terminalPort(), 0, m.nodeId({4, 6}),
+              cands);
+    for (std::size_t i = 0; i + 1 < cands.size(); ++i)
+        EXPECT_EQ(cands[i].vcMask & 0b01u, 0u);
+}
+
+TEST(Adaptive, SingleDimensionRemainingHasEscapeAndAdaptive)
+{
+    const KAryNCube m(8, 2, false);
+    const MinimalAdaptiveRouting ada(m, 2);
+    std::vector<RouteCandidate> cands;
+    ada.route(m.nodeId({5, 2}), KAryNCube::dirPort(0, false), 1,
+              m.nodeId({5, 7}), cands);
+    ASSERT_EQ(cands.size(), 2u);
+    EXPECT_EQ(cands[0].outPort, KAryNCube::dirPort(1, true));
+    EXPECT_EQ(cands[1].outPort, KAryNCube::dirPort(1, true));
+    EXPECT_EQ(cands[1].vcMask, 0b01u);
+}
+
+TEST(Adaptive, DeliversAtDestination)
+{
+    const KAryNCube m(4, 2, false);
+    const MinimalAdaptiveRouting ada(m, 2);
+    std::vector<RouteCandidate> cands;
+    ada.route(9, KAryNCube::dirPort(1, false), 1, 9, cands);
+    ASSERT_EQ(cands.size(), 1u);
+    EXPECT_EQ(cands[0].outPort, m.terminalPort());
+}

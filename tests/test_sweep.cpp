@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Experiment-driver tests: rate grids, saturation detection on synthetic
+ * series, and the paper-summary comparison math.  End-to-end sweeps use
+ * a small 4x4 network to stay fast.
+ */
+
+#include <gtest/gtest.h>
+
+#include "network/sweep.hpp"
+
+using dvsnet::network::DvsComparison;
+using dvsnet::network::ExperimentSpec;
+using dvsnet::network::PolicyKind;
+using dvsnet::network::RunResults;
+using dvsnet::network::SweepPoint;
+using dvsnet::network::compareDvs;
+using dvsnet::network::rateGrid;
+using dvsnet::network::runOnePoint;
+using dvsnet::network::saturationThroughput;
+using dvsnet::network::sweepInjection;
+
+namespace
+{
+
+ExperimentSpec
+smallSpec(PolicyKind policy)
+{
+    ExperimentSpec spec;
+    spec.network.radix = 4;
+    spec.network.policy = policy;
+    spec.workload.avgConcurrentTasks = 10;
+    spec.workload.meanTaskDurationCycles = 2e4;
+    spec.workload.sourcesPerTask = 16;
+    spec.workload.seed = 5;
+    spec.warmup = 5000;
+    spec.measure = 20000;
+    return spec;
+}
+
+SweepPoint
+point(double rate, double latency, double throughput)
+{
+    SweepPoint p;
+    p.injectionRate = rate;
+    p.results.avgLatencyCycles = latency;
+    p.results.throughputPktsPerCycle = throughput;
+    p.results.savingsFactor = 2.0;
+    return p;
+}
+
+} // namespace
+
+TEST(RateGrid, EvenlySpacedInclusive)
+{
+    const auto rates = rateGrid(0.5, 2.0, 4);
+    ASSERT_EQ(rates.size(), 4u);
+    EXPECT_DOUBLE_EQ(rates[0], 0.5);
+    EXPECT_DOUBLE_EQ(rates[1], 1.0);
+    EXPECT_DOUBLE_EQ(rates[2], 1.5);
+    EXPECT_DOUBLE_EQ(rates[3], 2.0);
+}
+
+TEST(Saturation, FindsCrossingByInterpolation)
+{
+    // Zero-load 50 -> limit 100; crossing between the 2nd and 3rd point.
+    std::vector<SweepPoint> series{point(0.5, 60, 0.5), point(1.0, 80, 1.0),
+                                   point(1.5, 160, 1.2)};
+    const double sat = saturationThroughput(series, 50.0);
+    // t = (100-80)/(160-80) = 0.25 -> 1.0 + 0.25*(1.2-1.0) = 1.05.
+    EXPECT_NEAR(sat, 1.05, 1e-9);
+}
+
+TEST(Saturation, NeverSaturatedReturnsLastThroughput)
+{
+    std::vector<SweepPoint> series{point(0.5, 60, 0.5),
+                                   point(1.0, 70, 1.0)};
+    EXPECT_DOUBLE_EQ(saturationThroughput(series, 50.0), 1.0);
+}
+
+TEST(Saturation, ImmediateSaturationReturnsFirstThroughput)
+{
+    std::vector<SweepPoint> series{point(0.5, 200, 0.4),
+                                   point(1.0, 400, 0.5)};
+    EXPECT_DOUBLE_EQ(saturationThroughput(series, 50.0), 0.4);
+}
+
+TEST(CompareDvs, SummaryMath)
+{
+    std::vector<SweepPoint> base{point(0.5, 60, 0.5), point(1.0, 70, 1.0),
+                                 point(1.5, 300, 1.1)};
+    std::vector<SweepPoint> dvs{point(0.5, 66, 0.5), point(1.0, 84, 0.98),
+                                point(1.5, 400, 1.05)};
+    const DvsComparison cmp = compareDvs(base, dvs, 50.0, 55.0);
+    EXPECT_NEAR(cmp.zeroLoadIncreasePct, 10.0, 1e-9);
+    // Pre-saturation points: the first two (300 > 2*50).
+    EXPECT_NEAR(cmp.preSatLatencyIncreasePct,
+                ((66.0 / 60 + 84.0 / 70) / 2 - 1) * 100, 1e-9);
+    EXPECT_NEAR(cmp.avgSavings, 2.0, 1e-9);
+    EXPECT_NEAR(cmp.maxSavings, 2.0, 1e-9);
+    EXPECT_GT(cmp.saturationBase, 0.0);
+}
+
+TEST(SweepEndToEnd, RunOnePointProducesTraffic)
+{
+    const RunResults res = runOnePoint(smallSpec(PolicyKind::None), 0.2);
+    EXPECT_GT(res.packetsDelivered, 500u);
+    EXPECT_GT(res.avgLatencyCycles, 10.0);
+    EXPECT_NEAR(res.normalizedPower, 1.0, 1e-9);
+}
+
+TEST(SweepEndToEnd, PointsAreIndependentAndMonotoneInLoad)
+{
+    const auto series = sweepInjection(smallSpec(PolicyKind::None),
+                                       {0.1, 0.4});
+    ASSERT_EQ(series.size(), 2u);
+    EXPECT_LT(series[0].results.throughputPktsPerCycle,
+              series[1].results.throughputPktsPerCycle);
+}
+
+TEST(SweepEndToEnd, DvsPolicySavesPowerOnSweep)
+{
+    auto spec = smallSpec(PolicyKind::History);
+    spec.warmup = 60000;  // let the levels settle
+    const auto series = sweepInjection(spec, {0.1});
+    EXPECT_GT(series[0].results.savingsFactor, 1.5);
+}
+
+TEST(SweepEndToEnd, ZeroLoadLatencyIsReasonable)
+{
+    const double zl = measureZeroLoadLatency(smallSpec(PolicyKind::None));
+    EXPECT_GT(zl, 20.0);
+    EXPECT_LT(zl, 120.0);
+}

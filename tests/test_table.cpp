@@ -1,0 +1,66 @@
+/** @file Table rendering tests (text alignment and CSV quoting). */
+
+#include <gtest/gtest.h>
+
+#include "common/table.hpp"
+
+using dvsnet::Table;
+
+TEST(Table, TextContainsHeadersAndCells)
+{
+    Table t({"rate", "latency"});
+    t.addRow({"0.5", "83.2"});
+    const std::string out = t.toText();
+    EXPECT_NE(out.find("rate"), std::string::npos);
+    EXPECT_NE(out.find("latency"), std::string::npos);
+    EXPECT_NE(out.find("83.2"), std::string::npos);
+}
+
+TEST(Table, RowCount)
+{
+    Table t({"a"});
+    EXPECT_EQ(t.rows(), 0u);
+    t.addRow({"1"});
+    t.addRow({"2"});
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvBasic)
+{
+    Table t({"a", "b"});
+    t.addRow({"1", "2"});
+    EXPECT_EQ(t.toCsv(), "a,b\n1,2\n");
+}
+
+TEST(Table, CsvQuotesCommasAndQuotes)
+{
+    Table t({"x"});
+    t.addRow({"a,b"});
+    t.addRow({"say \"hi\""});
+    const std::string csv = t.toCsv();
+    EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+    EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, ColumnsAlignAcrossRows)
+{
+    Table t({"h", "wide-header"});
+    t.addRow({"very-long-cell", "x"});
+    const std::string out = t.toText();
+    // Every line has the same length in an aligned table.
+    std::size_t firstLen = out.find('\n');
+    std::size_t pos = firstLen + 1;
+    while (pos < out.size()) {
+        const std::size_t next = out.find('\n', pos);
+        EXPECT_EQ(next - pos, firstLen);
+        pos = next + 1;
+    }
+}
+
+TEST(Table, NumFormatsPrecision)
+{
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(3.14159, 4), "3.1416");
+    EXPECT_EQ(Table::num(std::uint64_t{42}), "42");
+    EXPECT_EQ(Table::num(-7), "-7");
+}
