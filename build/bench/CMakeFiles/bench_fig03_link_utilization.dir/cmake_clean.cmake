@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_link_utilization.dir/bench_fig03_link_utilization.cpp.o"
+  "CMakeFiles/bench_fig03_link_utilization.dir/bench_fig03_link_utilization.cpp.o.d"
+  "bench_fig03_link_utilization"
+  "bench_fig03_link_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_link_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_dvs_100tasks.dir/bench_fig10_dvs_100tasks.cpp.o"
+  "CMakeFiles/bench_fig10_dvs_100tasks.dir/bench_fig10_dvs_100tasks.cpp.o.d"
+  "bench_fig10_dvs_100tasks"
+  "bench_fig10_dvs_100tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_dvs_100tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

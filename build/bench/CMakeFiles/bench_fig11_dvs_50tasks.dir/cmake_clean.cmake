@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_dvs_50tasks.dir/bench_fig11_dvs_50tasks.cpp.o"
+  "CMakeFiles/bench_fig11_dvs_50tasks.dir/bench_fig11_dvs_50tasks.cpp.o.d"
+  "bench_fig11_dvs_50tasks"
+  "bench_fig11_dvs_50tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_dvs_50tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

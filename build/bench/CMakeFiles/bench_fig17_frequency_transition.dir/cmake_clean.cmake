@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_frequency_transition.dir/bench_fig17_frequency_transition.cpp.o"
+  "CMakeFiles/bench_fig17_frequency_transition.dir/bench_fig17_frequency_transition.cpp.o.d"
+  "bench_fig17_frequency_transition"
+  "bench_fig17_frequency_transition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_frequency_transition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

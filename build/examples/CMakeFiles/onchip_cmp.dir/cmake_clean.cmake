@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/onchip_cmp.dir/onchip_cmp.cpp.o"
+  "CMakeFiles/onchip_cmp.dir/onchip_cmp.cpp.o.d"
+  "onchip_cmp"
+  "onchip_cmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/onchip_cmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_fabric.dir/server_fabric.cpp.o"
+  "CMakeFiles/server_fabric.dir/server_fabric.cpp.o.d"
+  "server_fabric"
+  "server_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/config.cpp" "src/CMakeFiles/dvsnet.dir/common/config.cpp.o" "gcc" "src/CMakeFiles/dvsnet.dir/common/config.cpp.o.d"
+  "/root/repo/src/common/fatal.cpp" "src/CMakeFiles/dvsnet.dir/common/fatal.cpp.o" "gcc" "src/CMakeFiles/dvsnet.dir/common/fatal.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "src/CMakeFiles/dvsnet.dir/common/log.cpp.o" "gcc" "src/CMakeFiles/dvsnet.dir/common/log.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/dvsnet.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/dvsnet.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/dvsnet.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/dvsnet.dir/common/stats.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/CMakeFiles/dvsnet.dir/common/table.cpp.o" "gcc" "src/CMakeFiles/dvsnet.dir/common/table.cpp.o.d"
+  "/root/repo/src/core/controller.cpp" "src/CMakeFiles/dvsnet.dir/core/controller.cpp.o" "gcc" "src/CMakeFiles/dvsnet.dir/core/controller.cpp.o.d"
+  "/root/repo/src/core/dynamic_threshold.cpp" "src/CMakeFiles/dvsnet.dir/core/dynamic_threshold.cpp.o" "gcc" "src/CMakeFiles/dvsnet.dir/core/dynamic_threshold.cpp.o.d"
+  "/root/repo/src/core/history_policy.cpp" "src/CMakeFiles/dvsnet.dir/core/history_policy.cpp.o" "gcc" "src/CMakeFiles/dvsnet.dir/core/history_policy.cpp.o.d"
+  "/root/repo/src/core/monitor.cpp" "src/CMakeFiles/dvsnet.dir/core/monitor.cpp.o" "gcc" "src/CMakeFiles/dvsnet.dir/core/monitor.cpp.o.d"
+  "/root/repo/src/core/policy.cpp" "src/CMakeFiles/dvsnet.dir/core/policy.cpp.o" "gcc" "src/CMakeFiles/dvsnet.dir/core/policy.cpp.o.d"
+  "/root/repo/src/link/dvs_level.cpp" "src/CMakeFiles/dvsnet.dir/link/dvs_level.cpp.o" "gcc" "src/CMakeFiles/dvsnet.dir/link/dvs_level.cpp.o.d"
+  "/root/repo/src/link/dvs_link.cpp" "src/CMakeFiles/dvsnet.dir/link/dvs_link.cpp.o" "gcc" "src/CMakeFiles/dvsnet.dir/link/dvs_link.cpp.o.d"
+  "/root/repo/src/network/metrics.cpp" "src/CMakeFiles/dvsnet.dir/network/metrics.cpp.o" "gcc" "src/CMakeFiles/dvsnet.dir/network/metrics.cpp.o.d"
+  "/root/repo/src/network/network.cpp" "src/CMakeFiles/dvsnet.dir/network/network.cpp.o" "gcc" "src/CMakeFiles/dvsnet.dir/network/network.cpp.o.d"
+  "/root/repo/src/network/sweep.cpp" "src/CMakeFiles/dvsnet.dir/network/sweep.cpp.o" "gcc" "src/CMakeFiles/dvsnet.dir/network/sweep.cpp.o.d"
+  "/root/repo/src/power/energy_ledger.cpp" "src/CMakeFiles/dvsnet.dir/power/energy_ledger.cpp.o" "gcc" "src/CMakeFiles/dvsnet.dir/power/energy_ledger.cpp.o.d"
+  "/root/repo/src/power/power_model.cpp" "src/CMakeFiles/dvsnet.dir/power/power_model.cpp.o" "gcc" "src/CMakeFiles/dvsnet.dir/power/power_model.cpp.o.d"
+  "/root/repo/src/power/router_power.cpp" "src/CMakeFiles/dvsnet.dir/power/router_power.cpp.o" "gcc" "src/CMakeFiles/dvsnet.dir/power/router_power.cpp.o.d"
+  "/root/repo/src/router/allocator.cpp" "src/CMakeFiles/dvsnet.dir/router/allocator.cpp.o" "gcc" "src/CMakeFiles/dvsnet.dir/router/allocator.cpp.o.d"
+  "/root/repo/src/router/arbiter.cpp" "src/CMakeFiles/dvsnet.dir/router/arbiter.cpp.o" "gcc" "src/CMakeFiles/dvsnet.dir/router/arbiter.cpp.o.d"
+  "/root/repo/src/router/buffer.cpp" "src/CMakeFiles/dvsnet.dir/router/buffer.cpp.o" "gcc" "src/CMakeFiles/dvsnet.dir/router/buffer.cpp.o.d"
+  "/root/repo/src/router/flit.cpp" "src/CMakeFiles/dvsnet.dir/router/flit.cpp.o" "gcc" "src/CMakeFiles/dvsnet.dir/router/flit.cpp.o.d"
+  "/root/repo/src/router/router.cpp" "src/CMakeFiles/dvsnet.dir/router/router.cpp.o" "gcc" "src/CMakeFiles/dvsnet.dir/router/router.cpp.o.d"
+  "/root/repo/src/router/routing.cpp" "src/CMakeFiles/dvsnet.dir/router/routing.cpp.o" "gcc" "src/CMakeFiles/dvsnet.dir/router/routing.cpp.o.d"
+  "/root/repo/src/sim/clock.cpp" "src/CMakeFiles/dvsnet.dir/sim/clock.cpp.o" "gcc" "src/CMakeFiles/dvsnet.dir/sim/clock.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/dvsnet.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/dvsnet.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/kernel.cpp" "src/CMakeFiles/dvsnet.dir/sim/kernel.cpp.o" "gcc" "src/CMakeFiles/dvsnet.dir/sim/kernel.cpp.o.d"
+  "/root/repo/src/topo/topology.cpp" "src/CMakeFiles/dvsnet.dir/topo/topology.cpp.o" "gcc" "src/CMakeFiles/dvsnet.dir/topo/topology.cpp.o.d"
+  "/root/repo/src/traffic/pareto_onoff.cpp" "src/CMakeFiles/dvsnet.dir/traffic/pareto_onoff.cpp.o" "gcc" "src/CMakeFiles/dvsnet.dir/traffic/pareto_onoff.cpp.o.d"
+  "/root/repo/src/traffic/pattern.cpp" "src/CMakeFiles/dvsnet.dir/traffic/pattern.cpp.o" "gcc" "src/CMakeFiles/dvsnet.dir/traffic/pattern.cpp.o.d"
+  "/root/repo/src/traffic/pattern_traffic.cpp" "src/CMakeFiles/dvsnet.dir/traffic/pattern_traffic.cpp.o" "gcc" "src/CMakeFiles/dvsnet.dir/traffic/pattern_traffic.cpp.o.d"
+  "/root/repo/src/traffic/task_model.cpp" "src/CMakeFiles/dvsnet.dir/traffic/task_model.cpp.o" "gcc" "src/CMakeFiles/dvsnet.dir/traffic/task_model.cpp.o.d"
+  "/root/repo/src/traffic/trace.cpp" "src/CMakeFiles/dvsnet.dir/traffic/trace.cpp.o" "gcc" "src/CMakeFiles/dvsnet.dir/traffic/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_allocator.cpp" "tests/CMakeFiles/dvsnet_tests.dir/test_allocator.cpp.o" "gcc" "tests/CMakeFiles/dvsnet_tests.dir/test_allocator.cpp.o.d"
+  "/root/repo/tests/test_arbiter.cpp" "tests/CMakeFiles/dvsnet_tests.dir/test_arbiter.cpp.o" "gcc" "tests/CMakeFiles/dvsnet_tests.dir/test_arbiter.cpp.o.d"
+  "/root/repo/tests/test_buffer.cpp" "tests/CMakeFiles/dvsnet_tests.dir/test_buffer.cpp.o" "gcc" "tests/CMakeFiles/dvsnet_tests.dir/test_buffer.cpp.o.d"
+  "/root/repo/tests/test_clock.cpp" "tests/CMakeFiles/dvsnet_tests.dir/test_clock.cpp.o" "gcc" "tests/CMakeFiles/dvsnet_tests.dir/test_clock.cpp.o.d"
+  "/root/repo/tests/test_config.cpp" "tests/CMakeFiles/dvsnet_tests.dir/test_config.cpp.o" "gcc" "tests/CMakeFiles/dvsnet_tests.dir/test_config.cpp.o.d"
+  "/root/repo/tests/test_controller.cpp" "tests/CMakeFiles/dvsnet_tests.dir/test_controller.cpp.o" "gcc" "tests/CMakeFiles/dvsnet_tests.dir/test_controller.cpp.o.d"
+  "/root/repo/tests/test_delivery_property.cpp" "tests/CMakeFiles/dvsnet_tests.dir/test_delivery_property.cpp.o" "gcc" "tests/CMakeFiles/dvsnet_tests.dir/test_delivery_property.cpp.o.d"
+  "/root/repo/tests/test_dvs_level.cpp" "tests/CMakeFiles/dvsnet_tests.dir/test_dvs_level.cpp.o" "gcc" "tests/CMakeFiles/dvsnet_tests.dir/test_dvs_level.cpp.o.d"
+  "/root/repo/tests/test_dvs_link.cpp" "tests/CMakeFiles/dvsnet_tests.dir/test_dvs_link.cpp.o" "gcc" "tests/CMakeFiles/dvsnet_tests.dir/test_dvs_link.cpp.o.d"
+  "/root/repo/tests/test_dvs_link_sweep.cpp" "tests/CMakeFiles/dvsnet_tests.dir/test_dvs_link_sweep.cpp.o" "gcc" "tests/CMakeFiles/dvsnet_tests.dir/test_dvs_link_sweep.cpp.o.d"
+  "/root/repo/tests/test_dynamic_threshold.cpp" "tests/CMakeFiles/dvsnet_tests.dir/test_dynamic_threshold.cpp.o" "gcc" "tests/CMakeFiles/dvsnet_tests.dir/test_dynamic_threshold.cpp.o.d"
+  "/root/repo/tests/test_event_queue.cpp" "tests/CMakeFiles/dvsnet_tests.dir/test_event_queue.cpp.o" "gcc" "tests/CMakeFiles/dvsnet_tests.dir/test_event_queue.cpp.o.d"
+  "/root/repo/tests/test_invariants.cpp" "tests/CMakeFiles/dvsnet_tests.dir/test_invariants.cpp.o" "gcc" "tests/CMakeFiles/dvsnet_tests.dir/test_invariants.cpp.o.d"
+  "/root/repo/tests/test_kernel.cpp" "tests/CMakeFiles/dvsnet_tests.dir/test_kernel.cpp.o" "gcc" "tests/CMakeFiles/dvsnet_tests.dir/test_kernel.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/dvsnet_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/dvsnet_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_monitor.cpp" "tests/CMakeFiles/dvsnet_tests.dir/test_monitor.cpp.o" "gcc" "tests/CMakeFiles/dvsnet_tests.dir/test_monitor.cpp.o.d"
+  "/root/repo/tests/test_network.cpp" "tests/CMakeFiles/dvsnet_tests.dir/test_network.cpp.o" "gcc" "tests/CMakeFiles/dvsnet_tests.dir/test_network.cpp.o.d"
+  "/root/repo/tests/test_network_policies.cpp" "tests/CMakeFiles/dvsnet_tests.dir/test_network_policies.cpp.o" "gcc" "tests/CMakeFiles/dvsnet_tests.dir/test_network_policies.cpp.o.d"
+  "/root/repo/tests/test_onoff.cpp" "tests/CMakeFiles/dvsnet_tests.dir/test_onoff.cpp.o" "gcc" "tests/CMakeFiles/dvsnet_tests.dir/test_onoff.cpp.o.d"
+  "/root/repo/tests/test_policy.cpp" "tests/CMakeFiles/dvsnet_tests.dir/test_policy.cpp.o" "gcc" "tests/CMakeFiles/dvsnet_tests.dir/test_policy.cpp.o.d"
+  "/root/repo/tests/test_power.cpp" "tests/CMakeFiles/dvsnet_tests.dir/test_power.cpp.o" "gcc" "tests/CMakeFiles/dvsnet_tests.dir/test_power.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/dvsnet_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/dvsnet_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_router.cpp" "tests/CMakeFiles/dvsnet_tests.dir/test_router.cpp.o" "gcc" "tests/CMakeFiles/dvsnet_tests.dir/test_router.cpp.o.d"
+  "/root/repo/tests/test_routing.cpp" "tests/CMakeFiles/dvsnet_tests.dir/test_routing.cpp.o" "gcc" "tests/CMakeFiles/dvsnet_tests.dir/test_routing.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/dvsnet_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/dvsnet_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_sweep.cpp" "tests/CMakeFiles/dvsnet_tests.dir/test_sweep.cpp.o" "gcc" "tests/CMakeFiles/dvsnet_tests.dir/test_sweep.cpp.o.d"
+  "/root/repo/tests/test_table.cpp" "tests/CMakeFiles/dvsnet_tests.dir/test_table.cpp.o" "gcc" "tests/CMakeFiles/dvsnet_tests.dir/test_table.cpp.o.d"
+  "/root/repo/tests/test_task_model.cpp" "tests/CMakeFiles/dvsnet_tests.dir/test_task_model.cpp.o" "gcc" "tests/CMakeFiles/dvsnet_tests.dir/test_task_model.cpp.o.d"
+  "/root/repo/tests/test_topology.cpp" "tests/CMakeFiles/dvsnet_tests.dir/test_topology.cpp.o" "gcc" "tests/CMakeFiles/dvsnet_tests.dir/test_topology.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/dvsnet_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/dvsnet_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_traffic_pattern.cpp" "tests/CMakeFiles/dvsnet_tests.dir/test_traffic_pattern.cpp.o" "gcc" "tests/CMakeFiles/dvsnet_tests.dir/test_traffic_pattern.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dvsnet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
