@@ -20,14 +20,18 @@ using namespace dvsnet;
 namespace
 {
 
-network::RunResults
-runVariant(const bench::BenchOptions &opts, double rate,
-           const std::function<void(network::ExperimentSpec &)> &tweak)
+/**
+ * Build the history-policy spec with one tweak applied; sections batch
+ * these into a single runPoints call so the variants run in parallel.
+ */
+network::ExperimentSpec
+variantSpec(const bench::BenchOptions &opts,
+            const std::function<void(network::ExperimentSpec &)> &tweak)
 {
     network::ExperimentSpec spec = bench::paperSpec(opts);
     spec.network.policy = network::PolicyKind::History;
     tweak(spec);
-    return network::runOnePoint(spec, rate);
+    return spec;
 }
 
 } // namespace
@@ -46,16 +50,23 @@ main(int argc, char **argv)
     std::printf("\n[1] congestion litmus (BU test) at heavy load "
                 "(%.1f pkt/cycle):\n", heavy);
     Table t1({"policy", "latency", "throughput", "savings"});
-    for (auto [name, kind] :
-         {std::pair<const char *, network::PolicyKind>{
-              "history (with litmus)", network::PolicyKind::History},
-          {"LU-only (no litmus)", network::PolicyKind::LinkUtilOnly}}) {
-        auto res = runVariant(opts, heavy, [kind](auto &spec) {
-            spec.network.policy = kind;
-        });
-        t1.addRow({name, Table::num(res.avgLatencyCycles, 1),
-                   Table::num(res.throughputPktsPerCycle, 3),
-                   Table::num(res.savingsFactor, 2) + "x"});
+    {
+        const std::pair<const char *, network::PolicyKind> variants[] = {
+            {"history (with litmus)", network::PolicyKind::History},
+            {"LU-only (no litmus)", network::PolicyKind::LinkUtilOnly}};
+        std::vector<network::ExperimentSpec> specs;
+        for (const auto &[name, kind] : variants) {
+            specs.push_back(variantSpec(opts, [kind = kind](auto &spec) {
+                spec.network.policy = kind;
+            }));
+        }
+        const auto res = bench::runPoints(opts, specs, {heavy, heavy});
+        for (std::size_t i = 0; i < specs.size(); ++i) {
+            t1.addRow({variants[i].first,
+                       Table::num(res[i].avgLatencyCycles, 1),
+                       Table::num(res[i].throughputPktsPerCycle, 3),
+                       Table::num(res[i].savingsFactor, 2) + "x"});
+        }
     }
     bench::printTable(t1, opts);
 
@@ -88,13 +99,21 @@ main(int argc, char **argv)
     // 3. History window sweep.
     std::printf("\n[3] history window H at light load:\n");
     Table t3({"H (cycles)", "latency", "savings"});
-    for (Cycle h : {Cycle{50}, Cycle{200}, Cycle{800}, Cycle{3200}}) {
-        auto res = runVariant(opts, light, [h](auto &spec) {
-            spec.network.policyWindow = h;
-        });
-        t3.addRow({Table::num(static_cast<std::uint64_t>(h)),
-                   Table::num(res.avgLatencyCycles, 1),
-                   Table::num(res.savingsFactor, 2) + "x"});
+    {
+        const Cycle windows[] = {50, 200, 800, 3200};
+        std::vector<network::ExperimentSpec> specs;
+        for (Cycle h : windows) {
+            specs.push_back(variantSpec(opts, [h](auto &spec) {
+                spec.network.policyWindow = h;
+            }));
+        }
+        const auto res = bench::runPoints(
+            opts, specs, std::vector<double>(specs.size(), light));
+        for (std::size_t i = 0; i < specs.size(); ++i) {
+            t3.addRow({Table::num(static_cast<std::uint64_t>(windows[i])),
+                       Table::num(res[i].avgLatencyCycles, 1),
+                       Table::num(res[i].savingsFactor, 2) + "x"});
+        }
     }
     bench::printTable(t3, opts);
 
@@ -102,16 +121,23 @@ main(int argc, char **argv)
     std::printf("\n[4] routing algorithm under DVS (%.1f pkt/cycle):\n",
                 light);
     Table t4({"routing", "latency", "throughput", "savings"});
-    for (auto [name, kind] :
-         {std::pair<const char *, network::RoutingKind>{
-              "dimension-order", network::RoutingKind::Dor},
-          {"minimal-adaptive", network::RoutingKind::MinimalAdaptive}}) {
-        auto res = runVariant(opts, light, [kind](auto &spec) {
-            spec.network.routing = kind;
-        });
-        t4.addRow({name, Table::num(res.avgLatencyCycles, 1),
-                   Table::num(res.throughputPktsPerCycle, 3),
-                   Table::num(res.savingsFactor, 2) + "x"});
+    {
+        const std::pair<const char *, network::RoutingKind> variants[] = {
+            {"dimension-order", network::RoutingKind::Dor},
+            {"minimal-adaptive", network::RoutingKind::MinimalAdaptive}};
+        std::vector<network::ExperimentSpec> specs;
+        for (const auto &[name, kind] : variants) {
+            specs.push_back(variantSpec(opts, [kind = kind](auto &spec) {
+                spec.network.routing = kind;
+            }));
+        }
+        const auto res = bench::runPoints(opts, specs, {light, light});
+        for (std::size_t i = 0; i < specs.size(); ++i) {
+            t4.addRow({variants[i].first,
+                       Table::num(res[i].avgLatencyCycles, 1),
+                       Table::num(res[i].throughputPktsPerCycle, 3),
+                       Table::num(res[i].savingsFactor, 2) + "x"});
+        }
     }
     bench::printTable(t4, opts);
 
@@ -119,24 +145,29 @@ main(int argc, char **argv)
     //    and the Section 4.4.2 dynamic-threshold extension.
     std::printf("\n[5] reaction-damping variants at light load:\n");
     Table t5({"variant", "latency", "throughput", "savings"});
-    for (Cycle cd : {Cycle{0}, Cycle{10}, Cycle{50}}) {
-        auto res = runVariant(opts, light, [cd](auto &spec) {
-            spec.network.policyCooldown = cd;
-        });
-        t5.addRow({"history, cooldown " +
-                       std::to_string(static_cast<unsigned long long>(cd)),
-                   Table::num(res.avgLatencyCycles, 1),
-                   Table::num(res.throughputPktsPerCycle, 3),
-                   Table::num(res.savingsFactor, 2) + "x"});
-    }
     {
-        auto res = runVariant(opts, light, [](auto &spec) {
+        const Cycle cooldowns[] = {0, 10, 50};
+        std::vector<std::string> names;
+        std::vector<network::ExperimentSpec> specs;
+        for (Cycle cd : cooldowns) {
+            names.push_back(
+                "history, cooldown " +
+                std::to_string(static_cast<unsigned long long>(cd)));
+            specs.push_back(variantSpec(opts, [cd](auto &spec) {
+                spec.network.policyCooldown = cd;
+            }));
+        }
+        names.push_back("dynamic thresholds (4.4.2)");
+        specs.push_back(variantSpec(opts, [](auto &spec) {
             spec.network.policy = network::PolicyKind::DynamicThreshold;
-        });
-        t5.addRow({"dynamic thresholds (4.4.2)",
-                   Table::num(res.avgLatencyCycles, 1),
-                   Table::num(res.throughputPktsPerCycle, 3),
-                   Table::num(res.savingsFactor, 2) + "x"});
+        }));
+        const auto res = bench::runPoints(
+            opts, specs, std::vector<double>(specs.size(), light));
+        for (std::size_t i = 0; i < specs.size(); ++i) {
+            t5.addRow({names[i], Table::num(res[i].avgLatencyCycles, 1),
+                       Table::num(res[i].throughputPktsPerCycle, 3),
+                       Table::num(res[i].savingsFactor, 2) + "x"});
+        }
     }
     bench::printTable(t5, opts);
     return 0;

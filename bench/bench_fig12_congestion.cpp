@@ -28,7 +28,7 @@ main(int argc, char **argv)
     spec.network.policy = network::PolicyKind::History;
 
     const auto rates = bench::defaultRates(opts, 1.0, 5.0);
-    const auto series = network::sweepInjection(spec, rates);
+    const auto series = bench::runSweep(opts, spec, rates);
 
     Table t({"rate", "offered", "throughput", "norm power", "power (W)",
              "avg level", "latency"});

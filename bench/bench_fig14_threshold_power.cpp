@@ -26,14 +26,15 @@ main(int argc, char **argv)
     const auto rates = network::rateGrid(0.4, 2.0, static_cast<std::size_t>(opts.raw.getInt("points", 5)));
     const char *names[] = {"I", "II", "III", "IV", "V", "VI"};
 
-    std::vector<std::vector<network::SweepPoint>> series;
+    std::vector<network::ExperimentSpec> specs;
     for (int s = 0; s < 6; ++s) {
         network::ExperimentSpec spec = bench::paperSpec(opts);
         spec.network.policy = network::PolicyKind::History;
         spec.network.policyParams =
             core::HistoryDvsParams::thresholdSetting(s);
-        series.push_back(network::sweepInjection(spec, rates));
+        specs.push_back(spec);
     }
+    const auto series = bench::runSweeps(opts, specs, rates);
 
     Table t({"rate", "pwr I", "pwr II", "pwr III", "pwr IV", "pwr V",
              "pwr VI"});

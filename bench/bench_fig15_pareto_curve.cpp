@@ -28,10 +28,22 @@ main(int argc, char **argv)
     const double rate = opts.raw.getDouble("rate", 1.7);
     const char *names[] = {"I", "II", "III", "IV", "V", "VI"};
 
-    // Baseline for reference.
+    // One job per curve point: the no-DVS baseline plus settings I-VI,
+    // all on one worker pool.
+    std::vector<network::ExperimentSpec> specs;
     network::ExperimentSpec base = bench::paperSpec(opts);
     base.network.policy = network::PolicyKind::None;
-    const auto baseRes = network::runOnePoint(base, rate);
+    specs.push_back(base);
+    for (int s = 0; s < 6; ++s) {
+        network::ExperimentSpec spec = bench::paperSpec(opts);
+        spec.network.policy = network::PolicyKind::History;
+        spec.network.policyParams =
+            core::HistoryDvsParams::thresholdSetting(s);
+        specs.push_back(spec);
+    }
+    const auto points = bench::runPoints(
+        opts, specs, std::vector<double>(specs.size(), rate));
+    const auto &baseRes = points[0];
 
     Table t({"setting", "TL_low/TL_high", "latency (cycles)",
              "latency vs no-DVS", "power savings"});
@@ -42,11 +54,8 @@ main(int argc, char **argv)
     bool monotone = true;
     std::vector<std::pair<double, double>> frontier;
     for (int s = 0; s < 6; ++s) {
-        network::ExperimentSpec spec = bench::paperSpec(opts);
-        spec.network.policy = network::PolicyKind::History;
         const auto params = core::HistoryDvsParams::thresholdSetting(s);
-        spec.network.policyParams = params;
-        const auto res = network::runOnePoint(spec, rate);
+        const auto &res = points[static_cast<std::size_t>(s) + 1];
         t.addRow({names[s],
                   Table::num(params.tlLow, 2) + "/" +
                       Table::num(params.tlHigh, 2),

@@ -17,6 +17,7 @@
  */
 
 #include <cstdio>
+#include <iterator>
 
 #include "bench_util.hpp"
 
@@ -46,12 +47,9 @@ main(int argc, char **argv)
         {"(d) 10us tasks, 10-cycle freq lock", 1e4, 10},
     };
 
+    // All 12 sweeps (4 regimes x 3 ramp speeds) share one worker pool.
+    std::vector<network::ExperimentSpec> specs;
     for (const auto &plot : plots) {
-        std::printf("\n%s\n", plot.label);
-        Table t({"rate", "lat 10us", "lat 5us", "lat 1us", "thr 10us",
-                 "thr 5us", "thr 1us"});
-
-        std::vector<std::vector<network::SweepPoint>> series;
         for (double vt : vtransUs) {
             network::ExperimentSpec spec = bench::paperSpec(opts);
             spec.network.policy = network::PolicyKind::History;
@@ -61,8 +59,18 @@ main(int argc, char **argv)
                 plot.freqLockCycles;
             spec.network.link.voltageTransitionLatency =
                 secondsToTicks(vt * 1e-6);
-            series.push_back(network::sweepInjection(spec, rates));
+            specs.push_back(spec);
         }
+    }
+    const auto allSeries = bench::runSweeps(opts, specs, rates);
+
+    for (std::size_t p = 0; p < std::size(plots); ++p) {
+        const auto &plot = plots[p];
+        std::printf("\n%s\n", plot.label);
+        Table t({"rate", "lat 10us", "lat 5us", "lat 1us", "thr 10us",
+                 "thr 5us", "thr 1us"});
+
+        const auto *series = &allSeries[p * std::size(vtransUs)];
 
         for (std::size_t i = 0; i < rates.size(); ++i) {
             t.addRow({Table::num(rates[i], 2),

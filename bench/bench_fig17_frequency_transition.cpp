@@ -16,6 +16,7 @@
  */
 
 #include <cstdio>
+#include <iterator>
 
 #include "bench_util.hpp"
 
@@ -46,12 +47,9 @@ main(int argc, char **argv)
         {"(d) 10us tasks, 1us voltage ramp", 1e4, 1.0},
     };
 
+    // All 12 sweeps (4 regimes x 3 lock durations) share one pool.
+    std::vector<network::ExperimentSpec> specs;
     for (const auto &plot : plots) {
-        std::printf("\n%s\n", plot.label);
-        Table t({"rate", "lat 100c", "lat 50c", "lat 10c", "thr 100c",
-                 "thr 50c", "thr 10c"});
-
-        std::vector<std::vector<network::SweepPoint>> series;
         for (Cycle lock : locks) {
             network::ExperimentSpec spec = bench::paperSpec(opts);
             spec.network.policy = network::PolicyKind::History;
@@ -60,8 +58,18 @@ main(int argc, char **argv)
             spec.network.link.freqTransitionLinkCycles = lock;
             spec.network.link.voltageTransitionLatency =
                 secondsToTicks(plot.voltageUs * 1e-6);
-            series.push_back(network::sweepInjection(spec, rates));
+            specs.push_back(spec);
         }
+    }
+    const auto allSeries = bench::runSweeps(opts, specs, rates);
+
+    for (std::size_t p = 0; p < std::size(plots); ++p) {
+        const auto &plot = plots[p];
+        std::printf("\n%s\n", plot.label);
+        Table t({"rate", "lat 100c", "lat 50c", "lat 10c", "thr 100c",
+                 "thr 50c", "thr 10c"});
+
+        const auto *series = &allSeries[p * std::size(locks)];
 
         for (std::size_t i = 0; i < rates.size(); ++i) {
             t.addRow({Table::num(rates[i], 2),

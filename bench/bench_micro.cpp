@@ -7,7 +7,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "common/rng.hpp"
+#include "exp/worker_pool.hpp"
 #include "core/history_policy.hpp"
 #include "network/network.hpp"
 #include "router/allocator.hpp"
@@ -22,6 +29,9 @@ using namespace dvsnet;
 
 namespace
 {
+
+/** Base seed for the RNG micro-benchmarks (--seed S overrides). */
+std::uint64_t g_seed = 12345;
 
 void
 BM_EventQueueScheduleExecute(benchmark::State &state)
@@ -42,7 +52,7 @@ BENCHMARK(BM_EventQueueScheduleExecute)->Arg(16)->Arg(1024)->Arg(16384);
 void
 BM_RngNext(benchmark::State &state)
 {
-    Rng rng(1);
+    Rng rng(g_seed);
     for (auto _ : state)
         benchmark::DoNotOptimize(rng.next());
 }
@@ -51,7 +61,7 @@ BENCHMARK(BM_RngNext);
 void
 BM_RngPareto(benchmark::State &state)
 {
-    Rng rng(2);
+    Rng rng(g_seed + 1);
     for (auto _ : state)
         benchmark::DoNotOptimize(rng.pareto(100.0, 1.4));
 }
@@ -148,4 +158,46 @@ BENCHMARK(BM_NetworkCyclesPerSecond)->Arg(4)->Arg(8)
 
 } // namespace
 
-BENCHMARK_MAIN();
+/**
+ * Custom main instead of BENCHMARK_MAIN(): accept the repo-wide
+ * `--threads N` / `--seed S` flags (and strip them before
+ * google-benchmark sees the argv), and print them in the header so a
+ * recorded run is reproducible from its output alone.
+ */
+int
+main(int argc, char **argv)
+{
+    std::size_t threads = 0;
+    std::vector<char *> passthrough{argv[0]};
+    for (int i = 1; i < argc; ++i) {
+        auto takeValue = [&](const char *flag) -> const char * {
+            if (std::strcmp(argv[i], flag) != 0)
+                return nullptr;
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "flag '%s' expects a value\n", flag);
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (const char *v = takeValue("--seed"))
+            g_seed = std::strtoull(v, nullptr, 0);
+        else if (const char *v = takeValue("--threads"))
+            threads = std::strtoull(v, nullptr, 0);
+        else
+            passthrough.push_back(argv[i]);
+    }
+    // Micro-benchmarks are single-threaded by design; --threads is
+    // accepted for command-line uniformity and echoed for the record.
+    std::printf("== micro-benchmarks == (seed=%llu, threads=%zu "
+                "[resolved %zu; timing loops run serially])\n",
+                static_cast<unsigned long long>(g_seed), threads,
+                dvsnet::exp::resolveThreadCount(threads));
+
+    int bmArgc = static_cast<int>(passthrough.size());
+    benchmark::Initialize(&bmArgc, passthrough.data());
+    if (benchmark::ReportUnrecognizedArguments(bmArgc, passthrough.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "common/fatal.hpp"
+
 namespace dvsnet::bench
 {
 
@@ -22,7 +24,78 @@ parseOptions(int argc, char **argv)
         opts.raw.getIntEnv("seed", static_cast<std::int64_t>(opts.seed)));
     opts.csv = opts.raw.getBool("csv", false);
     opts.sweepPoints = opts.raw.getIntEnv("points", opts.sweepPoints);
+    opts.threads =
+        static_cast<std::size_t>(opts.raw.getIntEnv("threads", 0));
     return opts;
+}
+
+exp::RunnerOptions
+runnerOptions(const BenchOptions &opts)
+{
+    exp::RunnerOptions ro;
+    ro.threads = opts.threads;
+    return ro;
+}
+
+std::vector<std::vector<network::SweepPoint>>
+runSweeps(const BenchOptions &opts,
+          const std::vector<network::ExperimentSpec> &specs,
+          const std::vector<double> &rates)
+{
+    exp::ExperimentRunner runner(runnerOptions(opts));
+    for (const auto &spec : specs)
+        runner.submitSweep(spec, rates);
+    const auto results = runner.collect();
+
+    std::vector<std::vector<network::SweepPoint>> series(specs.size());
+    for (std::size_t s = 0; s < specs.size(); ++s) {
+        series[s].reserve(rates.size());
+        for (std::size_t i = 0; i < rates.size(); ++i) {
+            const auto &r = results[s * rates.size() + i];
+            if (!r.ok) {
+                DVSNET_FATAL("sweep ", s, " point at rate ",
+                             r.injectionRate, " failed: ", r.error);
+            }
+            series[s].push_back(r.toSweepPoint());
+        }
+    }
+    return series;
+}
+
+std::vector<network::SweepPoint>
+runSweep(const BenchOptions &opts, const network::ExperimentSpec &spec,
+         const std::vector<double> &rates)
+{
+    return runSweeps(opts, {spec}, rates).front();
+}
+
+std::vector<network::RunResults>
+runPoints(const BenchOptions &opts,
+          const std::vector<network::ExperimentSpec> &specs,
+          const std::vector<double> &rates)
+{
+    DVSNET_ASSERT(specs.size() == rates.size(),
+                  "one rate per spec required");
+    exp::ExperimentRunner runner(runnerOptions(opts));
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        exp::PointJob job;
+        job.spec = specs[i];
+        job.injectionRate = rates[i];
+        job.seed = specs[i].workload.seed;
+        runner.submit(std::move(job));
+    }
+    const auto results = runner.collect();
+
+    std::vector<network::RunResults> out;
+    out.reserve(results.size());
+    for (const auto &r : results) {
+        if (!r.ok) {
+            DVSNET_FATAL("point at rate ", r.injectionRate,
+                         " failed: ", r.error);
+        }
+        out.push_back(r.results);
+    }
+    return out;
 }
 
 network::ExperimentSpec
@@ -48,12 +121,13 @@ printHeader(const std::string &figure, const std::string &what,
             const BenchOptions &opts)
 {
     std::printf("== %s: %s ==\n", figure.c_str(), what.c_str());
-    std::printf("   (warmup=%llu measure=%llu cycles, seed=%llu; paper "
-                "uses 10M-cycle runs — shapes, not absolutes, are the "
-                "reproduction target)\n",
+    std::printf("   (warmup=%llu measure=%llu cycles, seed=%llu, "
+                "threads=%zu; paper uses 10M-cycle runs — shapes, not "
+                "absolutes, are the reproduction target)\n",
                 static_cast<unsigned long long>(opts.warmup),
                 static_cast<unsigned long long>(opts.measure),
-                static_cast<unsigned long long>(opts.seed));
+                static_cast<unsigned long long>(opts.seed),
+                exp::resolveThreadCount(opts.threads));
 }
 
 void
@@ -78,16 +152,49 @@ void
 runDvsComparison(const BenchOptions &opts, double taskCount,
                  const std::vector<double> &rates)
 {
-    network::ExperimentSpec spec = paperSpec(opts);
-    spec.workload.avgConcurrentTasks = taskCount;
+    network::ExperimentSpec baseSpec = paperSpec(opts);
+    baseSpec.workload.avgConcurrentTasks = taskCount;
+    baseSpec.network.policy = network::PolicyKind::None;
 
-    spec.network.policy = network::PolicyKind::None;
-    const double zeroBase = network::measureZeroLoadLatency(spec);
-    const auto base = network::sweepInjection(spec, rates);
+    network::ExperimentSpec dvsSpec = baseSpec;
+    dvsSpec.network.policy = network::PolicyKind::History;
 
-    spec.network.policy = network::PolicyKind::History;
-    const double zeroDvs = network::measureZeroLoadLatency(spec);
-    const auto dvs = network::sweepInjection(spec, rates);
+    // All four series — both zero-load probes and both matched sweeps —
+    // share one worker pool, so the whole figure parallelizes across
+    // every available thread.  Seeds match the serial drivers: the
+    // zero-load probes use the base seed (as runOnePoint does), sweep
+    // point i uses pointSeed(baseSeed, i).
+    exp::ExperimentRunner runner(runnerOptions(opts));
+    const double zeroLoadRate = 0.05;  // as measureZeroLoadLatency
+    for (const auto *spec : {&baseSpec, &dvsSpec}) {
+        exp::PointJob job;
+        job.spec = *spec;
+        job.injectionRate = zeroLoadRate;
+        job.seed = spec->workload.seed;
+        job.label = "zero-load";
+        runner.submit(std::move(job));
+    }
+    runner.submitSweep(baseSpec, rates);
+    runner.submitSweep(dvsSpec, rates);
+    const auto results = runner.collect();
+
+    for (const auto &r : results) {
+        if (!r.ok) {
+            DVSNET_FATAL("point at rate ", r.injectionRate,
+                         " failed: ", r.error);
+        }
+    }
+    DVSNET_ASSERT(results[0].results.packetsDelivered > 0 &&
+                      results[1].results.packetsDelivered > 0,
+                  "zero-load run delivered nothing");
+    const double zeroBase = results[0].results.avgLatencyCycles;
+    const double zeroDvs = results[1].results.avgLatencyCycles;
+
+    std::vector<network::SweepPoint> base, dvs;
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+        base.push_back(results[2 + i].toSweepPoint());
+        dvs.push_back(results[2 + rates.size() + i].toSweepPoint());
+    }
 
     Table t({"rate", "offered", "lat base", "lat DVS", "thr base",
              "thr DVS", "norm power", "savings", "avg level"});

@@ -15,6 +15,7 @@
 #include "common/config.hpp"
 #include "common/table.hpp"
 #include "core/monitor.hpp"
+#include "exp/runner.hpp"
 #include "network/sweep.hpp"
 
 namespace dvsnet::bench
@@ -35,11 +36,49 @@ struct BenchOptions
     std::uint64_t seed = 12345;
     bool csv = false;               ///< emit CSV instead of boxed tables
     std::int64_t sweepPoints = 8;  ///< points per injection sweep
+
+    /** Worker threads for experiment execution (0 = all hardware
+     *  threads).  Results are seed-deterministic, so the thread count
+     *  changes wall-clock only, never the numbers. */
+    std::size_t threads = 0;
+
     Config raw;
 };
 
-/** Parse key=value args + environment into options. */
+/**
+ * Parse `key=value` / `--key value` args + environment into options.
+ * Every bench accepts `--threads N` and `--seed S` this way.
+ */
 BenchOptions parseOptions(int argc, char **argv);
+
+/** ExperimentRunner options matching `opts` (thread count). */
+exp::RunnerOptions runnerOptions(const BenchOptions &opts);
+
+/**
+ * Run several sweeps over the same rate grid on one worker pool —
+ * sweep `s` of the result is `specs[s]` swept over `rates`, seeded from
+ * its own `workload.seed`.  Fatal on any failed point (a bench has no
+ * way to recover from an invalid spec).
+ */
+std::vector<std::vector<network::SweepPoint>>
+runSweeps(const BenchOptions &opts,
+          const std::vector<network::ExperimentSpec> &specs,
+          const std::vector<double> &rates);
+
+/** Single-spec convenience over runSweeps. */
+std::vector<network::SweepPoint>
+runSweep(const BenchOptions &opts, const network::ExperimentSpec &spec,
+         const std::vector<double> &rates);
+
+/**
+ * Run one point per spec (`specs[i]` at `rates[i]`, seeded from its own
+ * `workload.seed` — equivalent to runOnePoint on each, but parallel).
+ * Fatal on failure.
+ */
+std::vector<network::RunResults>
+runPoints(const BenchOptions &opts,
+          const std::vector<network::ExperimentSpec> &specs,
+          const std::vector<double> &rates);
 
 /**
  * The paper's Section 4.2 experimental setup: 8x8 mesh, 2 VCs, 128

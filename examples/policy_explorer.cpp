@@ -2,10 +2,17 @@
  * @file
  * Policy explorer: compares every DVS policy the library ships — no-DVS,
  * the paper's history-based policy at several threshold settings, the
- * LU-only ablation, and static pinned levels — at one operating point,
- * so the power/performance trade-off space is visible in a single table.
+ * LU-only ablation, dynamic thresholds, and static pinned levels — at
+ * one operating point, so the power/performance trade-off space is
+ * visible in a single table.
+ *
+ * Also the canonical ExperimentRunner example: every variant is
+ * submitted as one PointJob and the worker pool runs them concurrently;
+ * results come back in submission order, and a variant with a nonsense
+ * config shows up as an error row instead of killing the run.
  *
  * Run:  ./policy_explorer [rate=1.2] [tasks=100] [cycles=120000]
+ *                         [--threads N] [--seed S]
  */
 
 #include <cstdio>
@@ -13,7 +20,7 @@
 #include "common/config.hpp"
 #include "common/table.hpp"
 #include "core/history_policy.hpp"
-#include "network/sweep.hpp"
+#include "exp/runner.hpp"
 
 using namespace dvsnet;
 
@@ -24,56 +31,80 @@ main(int argc, char **argv)
     const double rate = cfg.getDouble("rate", 1.2);
     const auto cycles = static_cast<Cycle>(cfg.getIntEnv("cycles", 120000));
     const auto warmup = static_cast<Cycle>(cfg.getIntEnv("warmup", 120000));
+    const auto threads =
+        static_cast<std::size_t>(cfg.getIntEnv("threads", 0));
+    const auto seed =
+        static_cast<std::uint64_t>(cfg.getIntEnv("seed", 99));
 
     std::printf("policy explorer: 8x8 mesh, two-level workload at "
-                "%.2f pkt/cycle\n\n", rate);
+                "%.2f pkt/cycle (seed=%llu, threads=%zu)\n\n",
+                rate, static_cast<unsigned long long>(seed),
+                exp::resolveThreadCount(threads));
 
     network::ExperimentSpec spec;
     spec.workload.avgConcurrentTasks =
         static_cast<double>(cfg.getInt("tasks", 100));
-    spec.workload.seed = 99;
+    spec.workload.seed = seed;
     spec.warmup = warmup;
     spec.measure = cycles;
 
-    Table t({"policy", "latency", "throughput", "norm power", "savings",
-             "avg level"});
-
-    auto addRow = [&](const char *name) {
-        const auto res = network::runOnePoint(spec, rate);
-        t.addRow({name, Table::num(res.avgLatencyCycles, 1),
-                  Table::num(res.throughputPktsPerCycle, 3),
-                  Table::num(res.normalizedPower, 3),
-                  Table::num(res.savingsFactor, 2) + "x",
-                  Table::num(res.avgChannelLevel, 2)});
+    // Submit every policy variant as one job on a shared worker pool.
+    exp::RunnerOptions runnerOpts;
+    runnerOpts.threads = threads;
+    exp::ExperimentRunner runner(runnerOpts);
+    auto submit = [&](const std::string &name,
+                      const network::ExperimentSpec &variant) {
+        exp::PointJob job;
+        job.spec = variant;
+        job.injectionRate = rate;
+        job.seed = variant.workload.seed;
+        job.label = name;
+        runner.submit(std::move(job));
     };
 
-    spec.network.policy = network::PolicyKind::None;
-    addRow("no DVS");
-
-    spec.network.policy = network::PolicyKind::History;
-    const char *names[] = {"history I (gentle)", "history III (paper)",
-                           "history VI (aggressive)"};
-    const int settings[] = {0, 2, 5};
-    for (int i = 0; i < 3; ++i) {
-        spec.network.policyParams =
-            core::HistoryDvsParams::thresholdSetting(settings[i]);
-        addRow(names[i]);
+    {
+        auto v = spec;
+        v.network.policy = network::PolicyKind::None;
+        submit("no DVS", v);
+    }
+    {
+        const char *names[] = {"history I (gentle)", "history III (paper)",
+                               "history VI (aggressive)"};
+        const int settings[] = {0, 2, 5};
+        for (int i = 0; i < 3; ++i) {
+            auto v = spec;
+            v.network.policy = network::PolicyKind::History;
+            v.network.policyParams =
+                core::HistoryDvsParams::thresholdSetting(settings[i]);
+            submit(names[i], v);
+        }
+    }
+    {
+        auto v = spec;
+        v.network.policy = network::PolicyKind::LinkUtilOnly;
+        submit("LU-only (no litmus)", v);
+    }
+    {
+        auto v = spec;
+        v.network.policy = network::PolicyKind::DynamicThreshold;
+        submit("dynamic thresholds (4.4.2)", v);
+    }
+    for (std::size_t level : {std::size_t{3}, std::size_t{6}}) {
+        auto v = spec;
+        v.network.policy = network::PolicyKind::StaticLevel;
+        v.network.staticLevel = level;
+        submit("static level " + std::to_string(level), v);
     }
 
-    spec.network.policyParams = core::HistoryDvsParams{};
-    spec.network.policy = network::PolicyKind::LinkUtilOnly;
-    addRow("LU-only (no litmus)");
-
-    spec.network.policy = network::PolicyKind::DynamicThreshold;
-    addRow("dynamic thresholds (4.4.2)");
-
-    spec.network.policy = network::PolicyKind::StaticLevel;
-    for (std::size_t level : {std::size_t{3}, std::size_t{6}}) {
-        spec.network.staticLevel = level;
-        const std::string name =
-            "static level " + std::to_string(level);
-        const auto res = network::runOnePoint(spec, rate);
-        t.addRow({name, Table::num(res.avgLatencyCycles, 1),
+    Table t({"policy", "latency", "throughput", "norm power", "savings",
+             "avg level"});
+    for (const auto &r : runner.collect()) {
+        if (!r.ok) {
+            t.addRow({r.label, "error: " + r.error, "-", "-", "-", "-"});
+            continue;
+        }
+        const auto &res = r.results;
+        t.addRow({r.label, Table::num(res.avgLatencyCycles, 1),
                   Table::num(res.throughputPktsPerCycle, 3),
                   Table::num(res.normalizedPower, 3),
                   Table::num(res.savingsFactor, 2) + "x",

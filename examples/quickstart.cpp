@@ -4,14 +4,14 @@
  * the two-level self-similar workload, and compare the history-based DVS
  * policy against the non-DVS baseline at one operating point.
  *
- * Run:  ./quickstart [rate=1.0] [cycles=100000]
+ * Run:  ./quickstart [rate=1.0] [cycles=100000] [--seed S]
  */
 
 #include <cstdio>
 
 #include "common/config.hpp"
+#include "exp/runner.hpp"
 #include "network/network.hpp"
-#include "network/sweep.hpp"
 #include "traffic/task_model.hpp"
 
 using namespace dvsnet;
@@ -22,21 +22,23 @@ main(int argc, char **argv)
     const Config cfg = Config::fromArgs(argc, argv);
     const double rate = cfg.getDouble("rate", 1.0);
     const auto cycles = static_cast<Cycle>(cfg.getIntEnv("cycles", 100000));
+    const auto seed =
+        static_cast<std::uint64_t>(cfg.getIntEnv("seed", 42));
 
     std::printf("dvsnet quickstart: 8x8 mesh, two-level workload, "
-                "rate=%.2f pkt/cycle, %llu cycles\n\n",
-                rate, static_cast<unsigned long long>(cycles));
+                "rate=%.2f pkt/cycle, %llu cycles, seed=%llu\n\n",
+                rate, static_cast<unsigned long long>(cycles),
+                static_cast<unsigned long long>(seed));
 
     for (bool dvs : {false, true}) {
         network::ExperimentSpec spec;
         spec.network.policy = dvs ? network::PolicyKind::History
                                   : network::PolicyKind::None;
-        spec.workload.seed = 42;
+        spec.workload.seed = seed;
         spec.warmup = 20000;
         spec.measure = cycles;
 
-        const network::RunResults res =
-            network::runOnePoint(spec, rate);
+        const network::RunResults res = exp::runPoint(spec, rate, seed);
 
         std::printf("%s:\n", dvs ? "history-based DVS" : "no DVS (baseline)");
         std::printf("  avg latency    : %8.1f cycles\n",

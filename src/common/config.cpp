@@ -14,10 +14,23 @@ Config::fromArgs(int argc, char **argv)
 {
     Config cfg;
     for (int i = 1; i < argc; ++i) {
-        const std::string tok = argv[i];
+        std::string tok = argv[i];
+        if (tok.rfind("--", 0) == 0) {
+            // GNU-style flag: `--key value` or `--key=value` (so every
+            // binary accepts e.g. `--threads 4 --seed 7` uniformly).
+            tok = tok.substr(2);
+            if (tok.find('=') == std::string::npos) {
+                if (i + 1 >= argc) {
+                    DVSNET_FATAL("flag '--", tok, "' expects a value");
+                }
+                tok += '=';
+                tok += argv[++i];
+            }
+        }
         const auto eq = tok.find('=');
         if (eq == std::string::npos || eq == 0) {
-            DVSNET_FATAL("expected key=value argument, got '", tok, "'");
+            DVSNET_FATAL("expected key=value or --key value argument, "
+                         "got '", tok, "'");
         }
         cfg.set(tok.substr(0, eq), tok.substr(eq + 1));
     }

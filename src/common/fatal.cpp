@@ -6,6 +6,17 @@
 namespace dvsnet
 {
 
+std::string
+joinProblems(const std::string &what,
+             const std::vector<std::string> &problems)
+{
+    std::string msg = what + ":";
+    for (std::size_t i = 0; i < problems.size(); ++i) {
+        msg += (i == 0 ? " " : "; ") + problems[i];
+    }
+    return msg;
+}
+
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {

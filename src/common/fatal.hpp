@@ -8,10 +8,32 @@
 #pragma once
 
 #include <sstream>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace dvsnet
 {
+
+/**
+ * Thrown for invalid user-supplied configuration where the caller can
+ * recover (e.g. one bad point in a parallel sweep).  Unlike
+ * DVSNET_FATAL, which terminates the process, a ConfigError is meant to
+ * be caught — the ExperimentRunner captures it into the failing job's
+ * result instead of aborting the whole experiment.
+ */
+class ConfigError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * Join validation problems into one ConfigError-ready message:
+ * "<what>: <p1>; <p2>; ...".
+ */
+std::string joinProblems(const std::string &what,
+                         const std::vector<std::string> &problems);
 
 /** Print a user-error message and exit(1). */
 [[noreturn]] void fatalImpl(const char *file, int line,

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Experiment job/result vocabulary for the parallel ExperimentRunner.
+ *
+ * A sweep is a bag of independent measurement points: each point builds
+ * its own Network + workload from an ExperimentSpec, so points can run
+ * concurrently on a worker pool with no shared simulator state.  The
+ * unit of work is a PointJob — spec + injection rate + an explicit RNG
+ * seed — and the seed alone (not thread count or completion order)
+ * determines the result, which is what makes a parallel sweep
+ * bit-identical to a serial one.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "network/sweep.hpp"
+
+namespace dvsnet::exp
+{
+
+/**
+ * Seed for sweep point `index` of a sweep rooted at `baseSeed`.
+ *
+ * splitmix64 of a golden-ratio-spaced stream: distinct indices land in
+ * well-separated xoshiro seed states, and the mapping is a pure function
+ * so any execution order reproduces the same per-point streams.
+ */
+std::uint64_t pointSeed(std::uint64_t baseSeed, std::uint64_t index);
+
+/** One unit of work: a fully specified measurement point. */
+struct PointJob
+{
+    network::ExperimentSpec spec;
+    double injectionRate = 1.0;  ///< offered packets/cycle (target)
+    std::uint64_t seed = 12345;  ///< workload RNG seed for this point
+    std::string label;           ///< optional tag echoed in the result
+};
+
+/** Outcome of one PointJob, successful or not. */
+struct PointResult
+{
+    double injectionRate = 0.0;
+    std::uint64_t seed = 0;
+    std::string label;
+
+    bool ok = false;
+    std::string error;       ///< set when !ok; the point's exception text
+    double wallSeconds = 0;  ///< wall-clock time spent executing the job
+
+    network::RunResults results;  ///< valid only when ok
+
+    /** View as a sweep sample (rate + results). */
+    network::SweepPoint toSweepPoint() const
+    {
+        return {injectionRate, results};
+    }
+};
+
+/** Completion snapshot handed to the progress callback. */
+struct Progress
+{
+    std::size_t completed = 0;  ///< jobs finished (ok or failed)
+    std::size_t submitted = 0;  ///< jobs submitted so far
+};
+
+/**
+ * Options for ExperimentRunner.
+ *
+ * The progress callback is invoked once per finished job, serialized
+ * under the runner's lock (it may be called from any worker thread, but
+ * never concurrently with itself).
+ */
+struct RunnerOptions
+{
+    /** Worker threads; 0 = one per available hardware thread. */
+    std::size_t threads = 0;
+
+    std::function<void(const Progress &)> onProgress;
+};
+
+/**
+ * Execute one measurement point with an explicit workload seed — the
+ * primitive every runner worker (and the legacy runOnePoint wrapper)
+ * calls.  Throws ConfigError on an invalid spec or rate.
+ */
+network::RunResults runPoint(const network::ExperimentSpec &spec,
+                             double injectionRate, std::uint64_t seed);
+
+} // namespace dvsnet::exp

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * ExperimentRunner: multi-threaded, deterministic experiment execution.
+ *
+ * Replaces the serial free-function sweep driver.  Callers submit
+ * PointJobs (or whole injection sweeps); a fixed-size worker pool runs
+ * them with each Network/Kernel confined to a single worker; collect()
+ * returns results in submission order.  Guarantees:
+ *
+ *  - **Determinism**: every job carries an explicit seed (sweeps derive
+ *    theirs as pointSeed(baseSeed, pointIndex)), so results are
+ *    bit-identical for any thread count, including 1.
+ *  - **Failure isolation**: an exception inside one point (e.g. a
+ *    ConfigError from Network's validation) is captured into that
+ *    point's PointResult::error; the other points still run.
+ *  - **Timing & progress**: each result records its wall-clock cost and
+ *    an optional callback observes completion counts.
+ *
+ * Typical use:
+ *
+ *     exp::RunnerOptions opts;
+ *     opts.threads = 4;                          // 0 = all hw threads
+ *     exp::ExperimentRunner runner(opts);
+ *     runner.submitSweep(spec, rates);           // seeds derived
+ *     auto results = runner.collect();           // submission order
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "exp/worker_pool.hpp"
+
+namespace dvsnet::exp
+{
+
+/** Multi-threaded experiment executor (see file comment). */
+class ExperimentRunner
+{
+  public:
+    explicit ExperimentRunner(RunnerOptions options = {});
+
+    /** Joins workers; discards results not yet collected. */
+    ~ExperimentRunner();
+
+    ExperimentRunner(const ExperimentRunner &) = delete;
+    ExperimentRunner &operator=(const ExperimentRunner &) = delete;
+
+    /** Worker threads actually running. */
+    std::size_t threadCount() const { return pool_.threadCount(); }
+
+    /** Enqueue one job; returns its index in collect() order. */
+    std::size_t submit(PointJob job);
+
+    /**
+     * Enqueue one job per rate, seeded pointSeed(spec.workload.seed, i)
+     * with `i` counting from 0 within this sweep.  Returns the index of
+     * the sweep's first job; the sweep occupies rates.size() consecutive
+     * collect() slots.  Throws ConfigError on an empty rate grid.
+     */
+    std::size_t submitSweep(const network::ExperimentSpec &spec,
+                            const std::vector<double> &rates);
+
+    /**
+     * Block until every submitted job has finished, then return all
+     * results in submission order and reset for reuse.
+     */
+    std::vector<PointResult> collect();
+
+    /**
+     * One-shot sweep: submit + collect + unwrap to SweepPoints.
+     * Throws ConfigError carrying the first failed point's message if
+     * any point failed.  The legacy network::sweepInjection forwards
+     * here.
+     */
+    static std::vector<network::SweepPoint>
+    sweep(const network::ExperimentSpec &spec,
+          const std::vector<double> &rates, RunnerOptions options = {});
+
+  private:
+    void execute(std::size_t index, const PointJob &job);
+
+    RunnerOptions options_;
+    std::mutex mutex_;  ///< guards results_ and the counters
+    std::vector<PointResult> results_;
+    std::size_t submitted_ = 0;
+    std::size_t completed_ = 0;
+    WorkerPool pool_;  ///< last member: workers stop before state dies
+};
+
+} // namespace dvsnet::exp

@@ -7,8 +7,66 @@
 namespace dvsnet::network
 {
 
+namespace
+{
+
+/** Validate `config`, throwing a ConfigError listing every problem. */
+const NetworkConfig &
+validated(const NetworkConfig &config)
+{
+    const auto problems = config.validate();
+    if (!problems.empty())
+        throw ConfigError(joinProblems("invalid network config", problems));
+    return config;
+}
+
+} // namespace
+
+std::vector<std::string>
+NetworkConfig::validate() const
+{
+    std::vector<std::string> problems;
+    auto complain = [&problems](auto &&...parts) {
+        problems.push_back(detail::concat(parts...));
+    };
+
+    if (radix < 2)
+        complain("radix must be >= 2 (got ", radix, ")");
+    if (dims < 1)
+        complain("dims must be >= 1 (got ", dims, ")");
+    if (router.numVcs < 1)
+        complain("router.numVcs must be >= 1 (got ", router.numVcs, ")");
+    else if (router.bufferPerPort <
+             static_cast<std::size_t>(router.numVcs)) {
+        complain("router.bufferPerPort (", router.bufferPerPort,
+                 ") leaves no buffer slot per VC (numVcs = ",
+                 router.numVcs, ")");
+    }
+    if (router.pipelineLatency < 3) {
+        complain("router.pipelineLatency must cover the 3 allocation "
+                 "stages (got ", router.pipelineLatency, ")");
+    }
+    if (packetLength < 1)
+        complain("packetLength must be >= 1 flit");
+    if (link.linksPerChannel < 1)
+        complain("link.linksPerChannel must be >= 1");
+    if (link.initialLevel >= link::kNumDvsLevels) {
+        complain("link.initialLevel ", link.initialLevel,
+                 " is outside the ", link::kNumDvsLevels,
+                 "-level table");
+    }
+    if (policy != PolicyKind::None && policyWindow < 1)
+        complain("policyWindow must be >= 1 cycle");
+    if (policy == PolicyKind::StaticLevel &&
+        staticLevel >= link::kNumDvsLevels) {
+        complain("staticLevel ", staticLevel, " is outside the ",
+                 link::kNumDvsLevels, "-level table");
+    }
+    return problems;
+}
+
 Network::Network(const NetworkConfig &config)
-    : config_(config),
+    : config_(validated(config)),
       topo_(config.radix, config.dims, config.torus),
       levels_(link::DvsLevelTable::standard10())
 {

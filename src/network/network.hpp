@@ -11,6 +11,7 @@
 
 #include <deque>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/types.hpp"
@@ -68,12 +69,23 @@ struct NetworkConfig
     RoutingKind routing = RoutingKind::Dor;
 
     std::uint16_t packetLength = 5;  ///< flits per packet
+
+    /**
+     * Check the configuration for nonsense (radix < 2, zero VCs,
+     * staticLevel beyond the level table, ...).  Returns one
+     * human-readable problem description per violation; empty means
+     * valid.  Network's constructor calls this and throws ConfigError
+     * listing every problem, so a bad config fails fast with a message
+     * instead of crashing deep inside construction or simulation.
+     */
+    std::vector<std::string> validate() const;
 };
 
 /** The simulated interconnection network. */
 class Network
 {
   public:
+    /** @throws ConfigError when `config.validate()` reports problems. */
     explicit Network(const NetworkConfig &config);
 
     /** The event kernel (shared with traffic generators and probes). */

@@ -1,32 +1,66 @@
 #include "network/sweep.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/fatal.hpp"
+#include "exp/runner.hpp"
 
 namespace dvsnet::network
 {
 
+std::vector<std::string>
+ExperimentSpec::validate() const
+{
+    std::vector<std::string> problems = network.validate();
+    auto complain = [&problems](auto &&...parts) {
+        problems.push_back(detail::concat(parts...));
+    };
+
+    if (!(workload.avgConcurrentTasks > 0)) {
+        complain("workload.avgConcurrentTasks must be positive (got ",
+                 workload.avgConcurrentTasks, ")");
+    }
+    if (!(workload.meanTaskDurationCycles > 0)) {
+        complain("workload.meanTaskDurationCycles must be positive (got ",
+                 workload.meanTaskDurationCycles, ")");
+    }
+    if (workload.sourcesPerTask < 1) {
+        complain("workload.sourcesPerTask must be >= 1 (got ",
+                 workload.sourcesPerTask, ")");
+    }
+    if (workload.durationSpread < 0 || workload.durationSpread >= 1) {
+        complain("workload.durationSpread must be in [0, 1) (got ",
+                 workload.durationSpread, ")");
+    }
+    if (workload.rateSpread < 0 || workload.rateSpread >= 1) {
+        complain("workload.rateSpread must be in [0, 1) (got ",
+                 workload.rateSpread, ")");
+    }
+    if (workload.pLocal < 0 || workload.pLocal > 1 ||
+        std::isnan(workload.pLocal)) {
+        complain("workload.pLocal must be in [0, 1] (got ",
+                 workload.pLocal, ")");
+    }
+    if (workload.localityRadius < 1) {
+        complain("workload.localityRadius must be >= 1 hop (got ",
+                 workload.localityRadius, ")");
+    }
+    if (measure < 1)
+        complain("measurement window must be >= 1 cycle");
+    return problems;
+}
+
 RunResults
 runOnePoint(const ExperimentSpec &spec, double injectionRate)
 {
-    DVSNET_ASSERT(injectionRate > 0, "injection rate must be positive");
-    Network net(spec.network);
-    traffic::TwoLevelParams wl = spec.workload;
-    wl.networkInjectionRate = injectionRate;
-    traffic::TwoLevelWorkload workload(net.topology(), wl);
-    net.attachTraffic(workload);
-    return net.run(spec.warmup, spec.measure);
+    return exp::runPoint(spec, injectionRate, spec.workload.seed);
 }
 
 std::vector<SweepPoint>
 sweepInjection(const ExperimentSpec &spec, const std::vector<double> &rates)
 {
-    std::vector<SweepPoint> series;
-    series.reserve(rates.size());
-    for (double rate : rates)
-        series.push_back({rate, runOnePoint(spec, rate)});
-    return series;
+    return exp::ExperimentRunner::sweep(spec, rates);
 }
 
 std::vector<double>

@@ -1,14 +1,22 @@
 /**
  * @file
- * Experiment driver: builds a fresh network + two-level workload per
- * measurement point, sweeps the packet injection rate, and derives the
- * paper's summary metrics (zero-load latency, saturation throughput —
- * "where average packet latency worsens to more than twice the zero-load
- * latency" — pre-saturation latency penalty, and power-saving factors).
+ * Experiment vocabulary + sweep analysis: the ExperimentSpec describing
+ * one network/workload/window combination, and the paper's summary
+ * metrics derived from a finished sweep (zero-load latency, saturation
+ * throughput — "where average packet latency worsens to more than twice
+ * the zero-load latency" — pre-saturation latency penalty, and
+ * power-saving factors).
+ *
+ * Execution lives in `exp/runner.hpp`: the multi-threaded
+ * ExperimentRunner runs PointJobs (spec + rate + derived seed) on a
+ * worker pool with deterministic, submission-ordered results.  The free
+ * functions `runOnePoint` / `sweepInjection` below are retained as thin
+ * forwarding wrappers for existing callers and are deprecated.
  */
 
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "network/network.hpp"
@@ -24,6 +32,15 @@ struct ExperimentSpec
     traffic::TwoLevelParams workload;  ///< injection rate set per point
     Cycle warmup = 20000;
     Cycle measure = 150000;
+
+    /**
+     * Check the whole experiment (network config + workload + windows)
+     * for nonsense.  Returns one problem description per violation;
+     * empty means valid.  exp::runPoint calls this before building the
+     * network so a bad spec becomes a captured per-job error rather
+     * than a crash.
+     */
+    std::vector<std::string> validate() const;
 };
 
 /** One sweep sample. */
@@ -33,10 +50,22 @@ struct SweepPoint
     RunResults results;
 };
 
-/** Run a single point at the given network-wide injection rate. */
+/**
+ * Run a single point at the given network-wide injection rate, seeded
+ * with `spec.workload.seed`.
+ * @deprecated Thin wrapper over exp::runPoint; new code should use the
+ * ExperimentRunner (exp/runner.hpp) and seed points explicitly.
+ */
 RunResults runOnePoint(const ExperimentSpec &spec, double injectionRate);
 
-/** Run every rate in `rates` (each on a fresh network). */
+/**
+ * Run every rate in `rates` (each on a fresh network), in parallel on
+ * the default worker pool.  Point `i` is seeded
+ * exp::pointSeed(spec.workload.seed, i), so the series is reproducible
+ * from the base seed alone and identical for any thread count.
+ * @deprecated Thin wrapper over exp::ExperimentRunner::sweep; new code
+ * should use the runner directly for progress/timing/failure capture.
+ */
 std::vector<SweepPoint> sweepInjection(const ExperimentSpec &spec,
                                        const std::vector<double> &rates);
 

@@ -1,0 +1,254 @@
+/**
+ * @file
+ * ExperimentRunner tests: seed derivation, submission-order results,
+ * per-job failure isolation, progress reporting, and — the hard
+ * requirement — bit-identical results between serial and parallel
+ * execution of the same sweep.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/fatal.hpp"
+#include "exp/runner.hpp"
+#include "exp/worker_pool.hpp"
+
+using dvsnet::ConfigError;
+using dvsnet::exp::ExperimentRunner;
+using dvsnet::exp::PointJob;
+using dvsnet::exp::pointSeed;
+using dvsnet::exp::RunnerOptions;
+using dvsnet::exp::WorkerPool;
+using dvsnet::network::ExperimentSpec;
+using dvsnet::network::PolicyKind;
+using dvsnet::network::RunResults;
+using dvsnet::network::SweepPoint;
+
+namespace
+{
+
+ExperimentSpec
+smallSpec(PolicyKind policy)
+{
+    ExperimentSpec spec;
+    spec.network.radix = 4;
+    spec.network.policy = policy;
+    spec.workload.avgConcurrentTasks = 10;
+    spec.workload.meanTaskDurationCycles = 2e4;
+    spec.workload.sourcesPerTask = 16;
+    spec.workload.seed = 5;
+    spec.warmup = 5000;
+    spec.measure = 20000;
+    return spec;
+}
+
+/** Every RunResults field, compared exactly — determinism means bits. */
+void
+expectIdentical(const RunResults &a, const RunResults &b)
+{
+    EXPECT_EQ(a.measuredCycles, b.measuredCycles);
+    EXPECT_EQ(a.packetsCreated, b.packetsCreated);
+    EXPECT_EQ(a.packetsDelivered, b.packetsDelivered);
+    EXPECT_EQ(a.flitsEjected, b.flitsEjected);
+    EXPECT_EQ(a.offeredLoadPktsPerCycle, b.offeredLoadPktsPerCycle);
+    EXPECT_EQ(a.throughputPktsPerCycle, b.throughputPktsPerCycle);
+    EXPECT_EQ(a.throughputFlitsPerCycle, b.throughputFlitsPerCycle);
+    EXPECT_EQ(a.avgLatencyCycles, b.avgLatencyCycles);
+    EXPECT_EQ(a.maxLatencyCycles, b.maxLatencyCycles);
+    EXPECT_EQ(a.avgPowerW, b.avgPowerW);
+    EXPECT_EQ(a.normalizedPower, b.normalizedPower);
+    EXPECT_EQ(a.savingsFactor, b.savingsFactor);
+    EXPECT_EQ(a.transitionEnergyJ, b.transitionEnergyJ);
+    EXPECT_EQ(a.avgChannelLevel, b.avgChannelLevel);
+}
+
+
+RunnerOptions
+withThreads(std::size_t n)
+{
+    RunnerOptions opts;
+    opts.threads = n;
+    return opts;
+}
+
+} // namespace
+
+TEST(PointSeed, DeterministicAndWellSpread)
+{
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t i = 0; i < 1000; ++i) {
+        const std::uint64_t s = pointSeed(42, i);
+        EXPECT_EQ(s, pointSeed(42, i));  // pure function
+        seen.insert(s);
+    }
+    EXPECT_EQ(seen.size(), 1000u);               // no collisions
+    EXPECT_NE(pointSeed(42, 0), pointSeed(43, 0));  // base matters
+}
+
+TEST(WorkerPool, ResolvesThreadCount)
+{
+    EXPECT_GE(dvsnet::exp::resolveThreadCount(0), 1u);
+    EXPECT_EQ(dvsnet::exp::resolveThreadCount(7), 7u);
+    WorkerPool pool(3);
+    EXPECT_EQ(pool.threadCount(), 3u);
+}
+
+TEST(WorkerPool, RunsEveryJobAndWaits)
+{
+    WorkerPool pool(4);
+    std::mutex m;
+    int done = 0;
+    for (int i = 0; i < 64; ++i) {
+        pool.post([&] {
+            std::lock_guard<std::mutex> lock(m);
+            ++done;
+        });
+    }
+    pool.wait();
+    EXPECT_EQ(done, 64);
+
+    // The pool is reusable after a wait().
+    pool.post([&] {
+        std::lock_guard<std::mutex> lock(m);
+        ++done;
+    });
+    pool.wait();
+    EXPECT_EQ(done, 65);
+}
+
+TEST(Runner, SerialAndParallelSweepsBitIdentical)
+{
+    const auto spec = smallSpec(PolicyKind::History);
+    const std::vector<double> rates{0.1, 0.2, 0.3, 0.4};
+
+    RunnerOptions serial;
+    serial.threads = 1;
+    RunnerOptions parallel;
+    parallel.threads = 4;
+
+    const auto a = ExperimentRunner::sweep(spec, rates, serial);
+    const auto b = ExperimentRunner::sweep(spec, rates, parallel);
+
+    ASSERT_EQ(a.size(), rates.size());
+    ASSERT_EQ(b.size(), rates.size());
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+        EXPECT_EQ(a[i].injectionRate, b[i].injectionRate);
+        expectIdentical(a[i].results, b[i].results);
+    }
+}
+
+TEST(Runner, LegacySweepInjectionMatchesRunner)
+{
+    const auto spec = smallSpec(PolicyKind::None);
+    const std::vector<double> rates{0.1, 0.3};
+
+    const auto legacy = dvsnet::network::sweepInjection(spec, rates);
+    RunnerOptions parallel;
+    parallel.threads = 2;
+    const auto direct = ExperimentRunner::sweep(spec, rates, parallel);
+
+    ASSERT_EQ(legacy.size(), direct.size());
+    for (std::size_t i = 0; i < legacy.size(); ++i)
+        expectIdentical(legacy[i].results, direct[i].results);
+}
+
+TEST(Runner, ResultsComeBackInSubmissionOrder)
+{
+    ExperimentRunner runner(withThreads(4));
+    // Heavier points first: completion order will differ from
+    // submission order, results must not.
+    const std::vector<double> rates{0.4, 0.3, 0.2, 0.1};
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+        PointJob job;
+        job.spec = smallSpec(PolicyKind::None);
+        job.injectionRate = rates[i];
+        job.seed = pointSeed(5, i);
+        job.label = "job" + std::to_string(i);
+        runner.submit(job);
+    }
+    const auto results = runner.collect();
+    ASSERT_EQ(results.size(), rates.size());
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+        EXPECT_EQ(results[i].injectionRate, rates[i]);
+        EXPECT_EQ(results[i].label, "job" + std::to_string(i));
+        EXPECT_TRUE(results[i].ok);
+        EXPECT_GT(results[i].wallSeconds, 0.0);
+    }
+}
+
+TEST(Runner, FailureIsolationCapturesBadPointOnly)
+{
+    ExperimentRunner runner(withThreads(2));
+
+    PointJob good;
+    good.spec = smallSpec(PolicyKind::None);
+    good.injectionRate = 0.2;
+    good.seed = 7;
+
+    PointJob bad = good;
+    bad.spec.network.radix = 1;        // invalid: radix < 2
+    bad.spec.network.router.numVcs = 0;  // invalid: zero VCs
+
+    PointJob badRate = good;
+    badRate.injectionRate = -1.0;
+
+    runner.submit(good);
+    runner.submit(bad);
+    runner.submit(badRate);
+    const auto results = runner.collect();
+
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_TRUE(results[0].ok);
+    EXPECT_GT(results[0].results.packetsDelivered, 0u);
+
+    EXPECT_FALSE(results[1].ok);
+    EXPECT_NE(results[1].error.find("radix"), std::string::npos);
+    EXPECT_NE(results[1].error.find("numVcs"), std::string::npos);
+
+    EXPECT_FALSE(results[2].ok);
+    EXPECT_NE(results[2].error.find("injection rate"), std::string::npos);
+}
+
+TEST(Runner, ProgressCallbackObservesEveryCompletion)
+{
+    std::size_t calls = 0;
+    std::size_t lastCompleted = 0;
+    RunnerOptions opts;
+    opts.threads = 3;
+    // The callback is serialized by the runner; plain variables are safe.
+    opts.onProgress = [&](const dvsnet::exp::Progress &p) {
+        ++calls;
+        EXPECT_GT(p.completed, lastCompleted);
+        lastCompleted = p.completed;
+        EXPECT_LE(p.completed, p.submitted);
+    };
+
+    ExperimentRunner runner(opts);
+    runner.submitSweep(smallSpec(PolicyKind::None), {0.1, 0.2, 0.3});
+    const auto results = runner.collect();
+    EXPECT_EQ(results.size(), 3u);
+    EXPECT_EQ(calls, 3u);
+    EXPECT_EQ(lastCompleted, 3u);
+}
+
+TEST(Runner, EmptyRateGridThrows)
+{
+    ExperimentRunner runner(withThreads(1));
+    EXPECT_THROW(runner.submitSweep(smallSpec(PolicyKind::None), {}),
+                 ConfigError);
+}
+
+TEST(Runner, RunnerIsReusableAfterCollect)
+{
+    ExperimentRunner runner(withThreads(2));
+    runner.submitSweep(smallSpec(PolicyKind::None), {0.1});
+    const auto first = runner.collect();
+    ASSERT_EQ(first.size(), 1u);
+
+    runner.submitSweep(smallSpec(PolicyKind::None), {0.1});
+    const auto second = runner.collect();
+    ASSERT_EQ(second.size(), 1u);
+    EXPECT_TRUE(second[0].ok);
+    expectIdentical(first[0].results, second[0].results);
+}

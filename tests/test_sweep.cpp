@@ -85,6 +85,40 @@ TEST(Saturation, ImmediateSaturationReturnsFirstThroughput)
     EXPECT_DOUBLE_EQ(saturationThroughput(series, 50.0), 0.4);
 }
 
+TEST(Saturation, ExactlyTwiceZeroLoadDoesNotCountAsSaturated)
+{
+    // The paper's rule is "worsens to MORE than twice" — a point sitting
+    // exactly on the limit is still pre-saturation.
+    std::vector<SweepPoint> series{point(0.5, 100, 0.5),
+                                   point(1.0, 100, 1.0)};
+    EXPECT_DOUBLE_EQ(saturationThroughput(series, 50.0), 1.0);
+}
+
+TEST(Saturation, SinglePointSeries)
+{
+    // Unsaturated single point: its own throughput.
+    std::vector<SweepPoint> calm{point(0.5, 60, 0.5)};
+    EXPECT_DOUBLE_EQ(saturationThroughput(calm, 50.0), 0.5);
+    // Saturated single point: no bracket to interpolate, same answer.
+    std::vector<SweepPoint> hot{point(0.5, 500, 0.3)};
+    EXPECT_DOUBLE_EQ(saturationThroughput(hot, 50.0), 0.3);
+}
+
+TEST(Saturation, BracketInterpolationIsLocal)
+{
+    // Only the bracketing pair matters: moving later points must not
+    // change the interpolated crossing.
+    std::vector<SweepPoint> series{point(0.5, 60, 0.5),
+                                   point(1.0, 80, 1.0),
+                                   point(1.5, 160, 1.2),
+                                   point(2.0, 900, 0.9)};
+    std::vector<SweepPoint> tailChanged = series;
+    tailChanged[3] = point(2.0, 300, 1.4);
+    EXPECT_DOUBLE_EQ(saturationThroughput(series, 50.0),
+                     saturationThroughput(tailChanged, 50.0));
+    EXPECT_NEAR(saturationThroughput(series, 50.0), 1.05, 1e-9);
+}
+
 TEST(CompareDvs, SummaryMath)
 {
     std::vector<SweepPoint> base{point(0.5, 60, 0.5), point(1.0, 70, 1.0),
