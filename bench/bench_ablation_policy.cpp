@@ -170,5 +170,6 @@ main(int argc, char **argv)
         }
     }
     bench::printTable(t5, opts);
+    bench::finishReport(opts);
     return 0;
 }

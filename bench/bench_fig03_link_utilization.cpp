@@ -83,5 +83,6 @@ main(int argc, char **argv)
 
     std::printf("\nsummary (paper shape: LU rises a->c, dips in d):\n");
     bench::printTable(summary, opts);
+    bench::finishReport(opts);
     return 0;
 }

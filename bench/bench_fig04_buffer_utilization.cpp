@@ -71,5 +71,6 @@ main(int argc, char **argv)
     std::printf("\nsummary (paper shape: BU flat a->b, sharp rise in c; "
                 "BU moves ~0.1 where LU\nmoves ~0.5+):\n");
     bench::printTable(summary, opts);
+    bench::finishReport(opts);
     return 0;
 }

@@ -72,5 +72,6 @@ main(int argc, char **argv)
     std::printf("\nsummary (paper shape: BA small a->b, dramatic rise "
                 "in c):\n");
     bench::printTable(summary, opts);
+    bench::finishReport(opts);
     return 0;
 }

@@ -37,5 +37,6 @@ main(int argc, char **argv)
     std::printf("paper conclusion adopted by the model: router-core power "
                 "is insensitive to link DVS,\nso the evaluation counts "
                 "link power only.\n");
+    bench::finishReport(opts);
     return 0;
 }

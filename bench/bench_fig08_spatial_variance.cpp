@@ -72,5 +72,6 @@ main(int argc, char **argv)
     bench::printTable(t, opts);
     std::printf("\npaper shape: strong spatial imbalance "
                 "(variance-to-mean >> 1).\n");
+    bench::finishReport(opts);
     return 0;
 }

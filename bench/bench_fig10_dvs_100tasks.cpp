@@ -22,5 +22,6 @@ main(int argc, char **argv)
         "latency/throughput and normalized power, DVS vs no-DVS, "
         "100 tasks", opts);
     bench::runDvsComparison(opts, 100.0, bench::defaultRates(opts));
+    bench::finishReport(opts);
     return 0;
 }

@@ -21,5 +21,6 @@ main(int argc, char **argv)
         "latency/throughput and normalized power, DVS vs no-DVS, "
         "50 tasks", opts);
     bench::runDvsComparison(opts, 50.0, bench::defaultRates(opts));
+    bench::finishReport(opts);
     return 0;
 }

@@ -61,5 +61,6 @@ main(int argc, char **argv)
     std::printf("paper shape: power rises while throughput rises, then "
                 "dips as the whole\nnetwork congests and throughput "
                 "falls.\n");
+    bench::finishReport(opts);
     return 0;
 }

@@ -59,5 +59,6 @@ main(int argc, char **argv)
     }
     std::printf("paper shape: latency grows with threshold "
                 "aggressiveness (I lowest, VI highest).\n");
+    bench::finishReport(opts);
     return 0;
 }

@@ -59,5 +59,6 @@ main(int argc, char **argv)
     }
     std::printf("paper shape: savings grow with threshold "
                 "aggressiveness (VI highest).\n");
+    bench::finishReport(opts);
     return 0;
 }

@@ -73,5 +73,6 @@ main(int argc, char **argv)
                 "only at higher latency\n(settings trace the curve "
                 "I -> VI).  Frontier monotone in savings: %s\n",
                 monotone ? "yes" : "no");
+    bench::finishReport(opts);
     return 0;
 }

@@ -93,5 +93,6 @@ main(int argc, char **argv)
         "transitions, more\nlock windows); (c) with cheap locks the "
         "effect disappears; (b)/(d) short tasks\nmake long voltage ramps "
         "cost throughput.\n");
+    bench::finishReport(opts);
     return 0;
 }

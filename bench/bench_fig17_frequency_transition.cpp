@@ -91,5 +91,6 @@ main(int argc, char **argv)
         "\npaper shapes: (a)/(c) long tasks — lock duration is latency "
         "overhead only;\n(b)/(d) short tasks — slow transitions lag the "
         "traffic and cost throughput.\n");
+    bench::finishReport(opts);
     return 0;
 }

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Validator for `dvsnet-bench-v1` run artifacts.
+ *
+ *   bench_json_check <artifact.json>
+ *       Parse the artifact and check the required keys: schema id,
+ *       binary/figure identity, config echo, seed, threads,
+ *       wall_seconds and a non-empty results array.
+ *
+ *   bench_json_check <artifact.json> --schema <baseline.json>
+ *       Additionally compare the artifact's *structure* against a
+ *       committed baseline: same key sets recursively, same value
+ *       kinds (Int and Double unify as "number"), arrays matched by
+ *       their first element.  Values — timings in particular — are
+ *       deliberately ignored, so CI can diff a fresh quick run against
+ *       the committed full-fidelity BENCH_micro.json.
+ *
+ * Exit status 0 on success; 1 with a diagnostic on stderr otherwise.
+ * Used by the ctest bench smoke tests and the CI bench-baseline job.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/fatal.hpp"
+#include "common/json.hpp"
+
+using dvsnet::Json;
+
+namespace
+{
+
+/** Fail the check with a diagnostic; never returns. */
+[[noreturn]] void
+fail(const std::string &message)
+{
+    std::fprintf(stderr, "bench_json_check: %s\n", message.c_str());
+    std::exit(1);
+}
+
+Json
+load(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fail("cannot open '" + path + "'");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    try {
+        return Json::parse(buf.str());
+    } catch (const std::exception &e) {
+        fail("'" + path + "' is not valid JSON: " + e.what());
+    }
+}
+
+/** Structural kind of a value: Int and Double unify as "number". */
+const char *
+kindName(const Json &v)
+{
+    if (v.isNull())
+        return "null";
+    if (v.isBool())
+        return "bool";
+    if (v.isNumber())
+        return "number";
+    if (v.isString())
+        return "string";
+    if (v.isArray())
+        return "array";
+    return "object";
+}
+
+/**
+ * Recursive structural comparison (see file comment).  `path` names the
+ * location for diagnostics.
+ */
+void
+compareStructure(const Json &got, const Json &want,
+                 const std::string &path)
+{
+    if (std::strcmp(kindName(got), kindName(want)) != 0) {
+        fail("structure mismatch at " + path + ": artifact has " +
+             kindName(got) + ", baseline has " + kindName(want));
+    }
+    if (want.isObject()) {
+        for (const auto &[key, value] : want.items()) {
+            const Json *sub = got.find(key);
+            if (!sub)
+                fail("missing key at " + path + ": '" + key + "'");
+            compareStructure(*sub, value, path + "." + key);
+        }
+        for (const auto &[key, value] : got.items()) {
+            (void)value;
+            if (!want.find(key))
+                fail("unexpected key at " + path + ": '" + key + "'");
+        }
+    } else if (want.isArray()) {
+        if ((got.size() == 0) != (want.size() == 0)) {
+            fail("array emptiness mismatch at " + path + ": artifact has " +
+                 std::to_string(got.size()) + " element(s), baseline has " +
+                 std::to_string(want.size()));
+        }
+        if (want.size() > 0)
+            compareStructure(got.at(0), want.at(0), path + "[0]");
+    }
+}
+
+/** Check one required top-level key; `kind` as from kindName(). */
+const Json &
+require(const Json &root, const char *key, const char *kind)
+{
+    const Json *v = root.find(key);
+    if (!v)
+        fail(std::string("missing required key '") + key + "'");
+    if (std::strcmp(kindName(*v), kind) != 0) {
+        fail(std::string("key '") + key + "' must be " + kind + ", got " +
+             kindName(*v));
+    }
+    return *v;
+}
+
+void
+validate(const Json &root)
+{
+    if (!root.isObject())
+        fail("artifact root must be an object");
+    const Json &schema = require(root, "schema", "string");
+    if (schema.asString() != "dvsnet-bench-v1")
+        fail("unknown schema '" + schema.asString() + "'");
+    require(root, "binary", "string");
+    require(root, "figure", "string");
+    require(root, "config", "object");
+    // Seeds are full-range uint64 streams; artifacts carry them as
+    // decimal strings because JSON numbers are lossy past 2^53.
+    require(root, "seed", "string");
+    require(root, "threads", "number");
+    require(root, "wall_seconds", "number");
+    const Json &results = require(root, "results", "array");
+    if (results.size() == 0)
+        fail("results array is empty");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string artifactPath;
+    std::string baselinePath;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--schema") == 0) {
+            if (i + 1 >= argc)
+                fail("--schema expects a baseline path");
+            baselinePath = argv[++i];
+        } else if (artifactPath.empty()) {
+            artifactPath = argv[i];
+        } else {
+            fail(std::string("unexpected argument '") + argv[i] + "'");
+        }
+    }
+    if (artifactPath.empty())
+        fail("usage: bench_json_check <artifact.json> "
+             "[--schema <baseline.json>]");
+
+    const Json artifact = load(artifactPath);
+    validate(artifact);
+
+    if (!baselinePath.empty()) {
+        const Json baseline = load(baselinePath);
+        validate(baseline);
+        compareStructure(artifact, baseline, "$");
+        std::printf("OK: %s matches the structure of %s\n",
+                    artifactPath.c_str(), baselinePath.c_str());
+    } else {
+        std::printf("OK: %s is a valid dvsnet-bench-v1 artifact\n",
+                    artifactPath.c_str());
+    }
+    return 0;
+}

@@ -3,16 +3,26 @@
  * Micro-benchmarks (google-benchmark) for the simulator's hot paths:
  * event queue, RNG, arbiters/allocators, router cycle step, DVS policy
  * evaluation, and whole-network simulation throughput.
+ *
+ * Besides the google-benchmark suite, `--json <path>` runs a dedicated
+ * timed pass (event-queue events/sec + whole-network flits/sec) and
+ * writes a `dvsnet-bench-v1` artifact — the committed BENCH_micro.json
+ * perf baseline is produced this way.  `--quick` shrinks the timed pass
+ * and skips the google-benchmark suite entirely (CI smoke mode).
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
+#include "common/fatal.hpp"
+#include "common/json.hpp"
 #include "common/rng.hpp"
 #include "exp/worker_pool.hpp"
 #include "core/history_policy.hpp"
@@ -156,18 +166,156 @@ BM_NetworkCyclesPerSecond(benchmark::State &state)
 BENCHMARK(BM_NetworkCyclesPerSecond)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
+/**
+ * Timed event-queue pass: steady-state schedule+execute at depth 1024.
+ * Reports events/sec and ns/event — the simulator's hottest loop.
+ */
+Json
+measureEventQueue(std::uint64_t events)
+{
+    sim::EventQueue q;
+    Tick t = 0;
+    for (std::size_t i = 0; i < 1024; ++i)
+        q.schedule(++t, [] {});
+    const auto start = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < events; ++i) {
+        q.schedule(++t, [] {});
+        q.executeNext();
+    }
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+
+    Json j = Json::object();
+    j["type"] = Json("micro");
+    j["name"] = Json("event_queue_schedule_execute");
+    j["events"] = Json(events);
+    j["wall_seconds"] = Json(secs);
+    j["events_per_sec"] = Json(static_cast<double>(events) / secs);
+    j["ns_per_event"] = Json(secs * 1e9 / static_cast<double>(events));
+    return j;
+}
+
+/**
+ * Timed whole-network pass: 8x8 mesh, history-DVS policy, uniform
+ * traffic.  Reports simulated cycles/sec, kernel events/sec and
+ * delivered flits/sec — the end-to-end throughput figures tracked by
+ * the committed baseline.
+ */
+Json
+measureNetwork(Cycle warmup, Cycle measure)
+{
+    network::NetworkConfig cfg;
+    cfg.policy = network::PolicyKind::History;
+    network::Network net(cfg);
+    traffic::PatternTraffic traffic(net.topology(),
+                                    traffic::Pattern::UniformRandom, 0.01,
+                                    static_cast<std::uint64_t>(g_seed));
+    net.attachTraffic(traffic);
+
+    const auto start = std::chrono::steady_clock::now();
+    const std::uint64_t ev0 = net.kernel().executedEvents();
+    const auto res = net.run(warmup, measure);
+    const std::uint64_t events = net.kernel().executedEvents() - ev0;
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    const double cycles = static_cast<double>(warmup + measure);
+
+    Json j = Json::object();
+    j["type"] = Json("micro");
+    j["name"] = Json("network_8x8_history_uniform");
+    j["cycles"] = Json(static_cast<std::uint64_t>(warmup + measure));
+    j["events"] = Json(events);
+    j["flits_ejected"] = Json(res.flitsEjected);
+    j["wall_seconds"] = Json(secs);
+    j["cycles_per_sec"] = Json(cycles / secs);
+    j["events_per_sec"] = Json(static_cast<double>(events) / secs);
+    j["flits_per_sec"] =
+        Json(static_cast<double>(res.flitsEjected) / secs);
+    j["ns_per_event"] = Json(secs * 1e9 / static_cast<double>(events));
+    j["invariant_checks"] = Json(res.invariantChecks);
+    j["invariant_failures"] = Json(res.invariantFailures);
+    return j;
+}
+
+#ifndef DVSNET_GIT_DESCRIBE
+#define DVSNET_GIT_DESCRIBE "unknown"
+#endif
+
+/** Run the timed pass and write the `dvsnet-bench-v1` artifact. */
+void
+writeArtifact(const std::string &path, std::uint64_t seed,
+              std::size_t threads, bool quick,
+              const std::chrono::steady_clock::time_point &processStart)
+{
+    Json root = Json::object();
+    root["schema"] = Json("dvsnet-bench-v1");
+    root["binary"] = Json("bench_micro");
+    root["figure"] = Json("micro");
+    root["description"] =
+        Json("hot-path perf baseline: event queue + whole-network "
+             "simulation throughput");
+    root["git_describe"] = Json(DVSNET_GIT_DESCRIBE);
+    root["seed"] = Json(std::to_string(seed));
+    root["threads"] = Json(static_cast<std::uint64_t>(
+        dvsnet::exp::resolveThreadCount(threads)));
+    root["quick"] = Json(quick);
+    Json cfg = Json::object();
+    cfg["seed"] = Json(std::to_string(seed));
+    cfg["threads"] = Json(std::to_string(threads));
+    cfg["quick"] = Json(quick ? "1" : "0");
+    root["config"] = std::move(cfg);
+
+    std::printf("timed pass (%s fidelity):\n", quick ? "quick" : "full");
+    Json results = Json::array();
+    Json eq = measureEventQueue(quick ? 200000 : 2000000);
+    std::printf("  event queue: %.3g events/sec (%.1f ns/event)\n",
+                eq.find("events_per_sec")->asDouble(),
+                eq.find("ns_per_event")->asDouble());
+    results.push(std::move(eq));
+    Json nw = quick ? measureNetwork(500, 2000) : measureNetwork(2000, 20000);
+    std::printf("  network: %.3g cycles/sec, %.3g events/sec, "
+                "%.3g flits/sec\n",
+                nw.find("cycles_per_sec")->asDouble(),
+                nw.find("events_per_sec")->asDouble(),
+                nw.find("flits_per_sec")->asDouble());
+    results.push(std::move(nw));
+
+    root["wall_seconds"] =
+        Json(std::chrono::duration<double>(
+                 std::chrono::steady_clock::now() - processStart)
+                 .count());
+    root["results"] = std::move(results);
+
+    std::ofstream out(path);
+    if (!out)
+        DVSNET_FATAL("cannot open JSON artifact path '", path, "'");
+    out << root.dump(2) << "\n";
+    out.flush();
+    if (!out)
+        DVSNET_FATAL("failed writing JSON artifact '", path, "'");
+    std::fprintf(stderr, "wrote JSON artifact: %s\n", path.c_str());
+}
+
 } // namespace
 
 /**
  * Custom main instead of BENCHMARK_MAIN(): accept the repo-wide
- * `--threads N` / `--seed S` flags (and strip them before
- * google-benchmark sees the argv), and print them in the header so a
- * recorded run is reproducible from its output alone.
+ * `--threads N` / `--seed S` flags plus `--json <path>` / `--quick`
+ * (and strip them before google-benchmark sees the argv), and print
+ * them in the header so a recorded run is reproducible from its output
+ * alone.
  */
 int
 main(int argc, char **argv)
 {
+    const auto processStart = std::chrono::steady_clock::now();
     std::size_t threads = 0;
+    std::string jsonPath;
+    bool quick = false;
     std::vector<char *> passthrough{argv[0]};
     for (int i = 1; i < argc; ++i) {
         auto takeValue = [&](const char *flag) -> const char * {
@@ -183,6 +331,10 @@ main(int argc, char **argv)
             g_seed = std::strtoull(v, nullptr, 0);
         else if (const char *v = takeValue("--threads"))
             threads = std::strtoull(v, nullptr, 0);
+        else if (const char *v = takeValue("--json"))
+            jsonPath = v;
+        else if (std::strcmp(argv[i], "--quick") == 0)
+            quick = true;
         else
             passthrough.push_back(argv[i]);
     }
@@ -193,11 +345,19 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(g_seed), threads,
                 dvsnet::exp::resolveThreadCount(threads));
 
-    int bmArgc = static_cast<int>(passthrough.size());
-    benchmark::Initialize(&bmArgc, passthrough.data());
-    if (benchmark::ReportUnrecognizedArguments(bmArgc, passthrough.data()))
-        return 1;
-    benchmark::RunSpecifiedBenchmarks();
-    benchmark::Shutdown();
+    if (!quick) {
+        int bmArgc = static_cast<int>(passthrough.size());
+        benchmark::Initialize(&bmArgc, passthrough.data());
+        if (benchmark::ReportUnrecognizedArguments(bmArgc,
+                                                   passthrough.data()))
+            return 1;
+        benchmark::RunSpecifiedBenchmarks();
+        benchmark::Shutdown();
+    } else {
+        std::printf("(--quick: skipping the google-benchmark suite)\n");
+    }
+
+    if (!jsonPath.empty())
+        writeArtifact(jsonPath, g_seed, threads, quick, processStart);
     return 0;
 }

@@ -42,5 +42,6 @@ main(int argc, char **argv)
                    Table::num(p.tlHigh, 2)});
     }
     bench::printTable(t2, opts);
+    bench::finishReport(opts);
     return 0;
 }

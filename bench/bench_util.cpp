@@ -1,31 +1,87 @@
 #include "bench_util.hpp"
 
+#include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <utility>
 
 #include "common/fatal.hpp"
+#include "common/json.hpp"
+
+#ifndef DVSNET_GIT_DESCRIBE
+#define DVSNET_GIT_DESCRIBE "unknown"
+#endif
 
 namespace dvsnet::bench
 {
+
+namespace
+{
+
+/** The in-flight run artifact; one per process, begun by printHeader. */
+struct ReportState
+{
+    bool active = false;
+    Json root = Json::object();
+    Json results = Json::array();
+    std::chrono::steady_clock::time_point start{};
+};
+
+ReportState g_report;
+
+} // namespace
 
 BenchOptions
 parseOptions(int argc, char **argv)
 {
     BenchOptions opts;
-    opts.raw = Config::fromArgs(argc, argv);
-    opts.warmup = static_cast<Cycle>(
-        opts.raw.getIntEnv("warmup", static_cast<std::int64_t>(opts.warmup)));
+    if (argc > 0) {
+        const std::string path = argv[0];
+        const auto slash = path.find_last_of('/');
+        opts.binaryName =
+            slash == std::string::npos ? path : path.substr(slash + 1);
+    }
+
+    // Config::fromArgs has no bare-flag form, so rewrite the standalone
+    // `--quick` token into its `quick=1` equivalent before parsing.
+    std::vector<std::string> storage;
+    storage.reserve(static_cast<std::size_t>(argc));
+    for (int i = 0; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--quick")
+            arg = "quick=1";
+        storage.push_back(std::move(arg));
+    }
+    std::vector<char *> args;
+    args.reserve(storage.size());
+    for (auto &s : storage)
+        args.push_back(s.data());
+    opts.raw = Config::fromArgs(static_cast<int>(args.size()), args.data());
+
+    // Quick mode drops the defaults to smoke fidelity; explicit keys and
+    // DVSNET_* environment variables keep their usual priority.
+    opts.quick = opts.raw.getBool("quick", false);
+    const std::int64_t warmupDef =
+        opts.quick ? 4000 : static_cast<std::int64_t>(opts.warmup);
+    const std::int64_t lightWarmupDef =
+        opts.quick ? 1000 : static_cast<std::int64_t>(opts.lightWarmup);
+    const std::int64_t measureDef =
+        opts.quick ? 6000 : static_cast<std::int64_t>(opts.measure);
+    const std::int64_t pointsDef = opts.quick ? 2 : opts.sweepPoints;
+
+    opts.warmup =
+        static_cast<Cycle>(opts.raw.getIntEnv("warmup", warmupDef));
     opts.lightWarmup = static_cast<Cycle>(
-        opts.raw.getIntEnv("light_warmup",
-                           static_cast<std::int64_t>(opts.lightWarmup)));
-    opts.measure = static_cast<Cycle>(
-        opts.raw.getIntEnv("cycles",
-                           static_cast<std::int64_t>(opts.measure)));
+        opts.raw.getIntEnv("light_warmup", lightWarmupDef));
+    opts.measure =
+        static_cast<Cycle>(opts.raw.getIntEnv("cycles", measureDef));
     opts.seed = static_cast<std::uint64_t>(
         opts.raw.getIntEnv("seed", static_cast<std::int64_t>(opts.seed)));
     opts.csv = opts.raw.getBool("csv", false);
-    opts.sweepPoints = opts.raw.getIntEnv("points", opts.sweepPoints);
+    opts.sweepPoints = opts.raw.getIntEnv("points", pointsDef);
     opts.threads =
         static_cast<std::size_t>(opts.raw.getIntEnv("threads", 0));
+    opts.jsonPath = opts.raw.getString("json", "");
     return opts;
 }
 
@@ -49,6 +105,10 @@ runSweeps(const BenchOptions &opts,
 
     std::vector<std::vector<network::SweepPoint>> series(specs.size());
     for (std::size_t s = 0; s < specs.size(); ++s) {
+        Json entry = Json::object();
+        entry["type"] = Json("sweep");
+        entry["spec"] = network::toJson(specs[s]);
+        Json points = Json::array();
         series[s].reserve(rates.size());
         for (std::size_t i = 0; i < rates.size(); ++i) {
             const auto &r = results[s * rates.size() + i];
@@ -56,8 +116,11 @@ runSweeps(const BenchOptions &opts,
                 DVSNET_FATAL("sweep ", s, " point at rate ",
                              r.injectionRate, " failed: ", r.error);
             }
+            points.push(exp::toJson(r));
             series[s].push_back(r.toSweepPoint());
         }
+        entry["points"] = std::move(points);
+        recordResult(std::move(entry));
     }
     return series;
 }
@@ -86,15 +149,25 @@ runPoints(const BenchOptions &opts,
     }
     const auto results = runner.collect();
 
+    Json entry = Json::object();
+    entry["type"] = Json("points");
+    Json points = Json::array();
+
     std::vector<network::RunResults> out;
     out.reserve(results.size());
-    for (const auto &r : results) {
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto &r = results[i];
         if (!r.ok) {
             DVSNET_FATAL("point at rate ", r.injectionRate,
                          " failed: ", r.error);
         }
+        Json p = exp::toJson(r);
+        p["spec"] = network::toJson(specs[i]);
+        points.push(std::move(p));
         out.push_back(r.results);
     }
+    entry["points"] = std::move(points);
+    recordResult(std::move(entry));
     return out;
 }
 
@@ -104,12 +177,14 @@ paperSpec(const BenchOptions &opts)
     network::ExperimentSpec spec;
     // NetworkConfig / RouterConfig / DvsLinkParams defaults already
     // encode Section 4.2; the workload gets the 100-task defaults.
-    spec.workload.avgConcurrentTasks =
-        static_cast<double>(opts.raw.getInt("tasks", 100));
+    // Quick mode shrinks the workload population so smoke runs finish
+    // in seconds (explicit keys still win).
+    spec.workload.avgConcurrentTasks = static_cast<double>(
+        opts.raw.getInt("tasks", opts.quick ? 12 : 100));
     spec.workload.meanTaskDurationCycles =
         opts.raw.getDouble("task_duration", 1e6);
-    spec.workload.sourcesPerTask =
-        static_cast<std::int32_t>(opts.raw.getInt("sources", 128));
+    spec.workload.sourcesPerTask = static_cast<std::int32_t>(
+        opts.raw.getInt("sources", opts.quick ? 16 : 128));
     spec.workload.seed = opts.seed;
     spec.warmup = opts.warmup;
     spec.measure = opts.measure;
@@ -128,6 +203,29 @@ printHeader(const std::string &figure, const std::string &what,
                 static_cast<unsigned long long>(opts.measure),
                 static_cast<unsigned long long>(opts.seed),
                 exp::resolveThreadCount(opts.threads));
+
+    g_report = ReportState{};
+    g_report.active = true;
+    g_report.start = std::chrono::steady_clock::now();
+    Json &root = g_report.root;
+    root["schema"] = Json("dvsnet-bench-v1");
+    root["binary"] = Json(opts.binaryName);
+    root["figure"] = Json(figure);
+    root["description"] = Json(what);
+    root["git_describe"] = Json(DVSNET_GIT_DESCRIBE);
+    root["seed"] = Json(std::to_string(opts.seed));
+    root["threads"] = Json(static_cast<std::uint64_t>(
+        exp::resolveThreadCount(opts.threads)));
+    root["quick"] = Json(opts.quick);
+    root["warmup_cycles"] = Json(static_cast<std::uint64_t>(opts.warmup));
+    root["light_warmup_cycles"] =
+        Json(static_cast<std::uint64_t>(opts.lightWarmup));
+    root["measure_cycles"] = Json(static_cast<std::uint64_t>(opts.measure));
+    root["sweep_points"] = Json(opts.sweepPoints);
+    Json cfg = Json::object();
+    for (const auto &[key, value] : opts.raw.entries())
+        cfg[key] = Json(value);
+    root["config"] = std::move(cfg);
 }
 
 void
@@ -137,6 +235,56 @@ printTable(const Table &table, const BenchOptions &opts)
         std::fputs(table.toCsv().c_str(), stdout);
     else
         std::fputs(table.toText().c_str(), stdout);
+
+    Json entry = Json::object();
+    entry["type"] = Json("table");
+    Json columns = Json::array();
+    for (const auto &h : table.headers())
+        columns.push(Json(h));
+    entry["columns"] = std::move(columns);
+    Json rows = Json::array();
+    for (const auto &row : table.rowData()) {
+        Json cells = Json::array();
+        for (const auto &cell : row)
+            cells.push(Json(cell));
+        rows.push(std::move(cells));
+    }
+    entry["rows"] = std::move(rows);
+    recordResult(std::move(entry));
+}
+
+void
+recordResult(Json entry)
+{
+    if (g_report.active)
+        g_report.results.push(std::move(entry));
+}
+
+void
+finishReport(const BenchOptions &opts)
+{
+    if (!g_report.active)
+        return;
+    g_report.active = false;
+    if (opts.jsonPath.empty())
+        return;
+
+    Json root = std::move(g_report.root);
+    root["wall_seconds"] = Json(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      g_report.start)
+            .count());
+    root["results"] = std::move(g_report.results);
+
+    std::ofstream out(opts.jsonPath);
+    if (!out)
+        DVSNET_FATAL("cannot open JSON artifact path '", opts.jsonPath,
+                     "'");
+    out << root.dump(2) << "\n";
+    out.flush();
+    if (!out)
+        DVSNET_FATAL("failed writing JSON artifact '", opts.jsonPath, "'");
+    std::fprintf(stderr, "wrote JSON artifact: %s\n", opts.jsonPath.c_str());
 }
 
 std::vector<double>
@@ -194,6 +342,33 @@ runDvsComparison(const BenchOptions &opts, double taskCount,
     for (std::size_t i = 0; i < rates.size(); ++i) {
         base.push_back(results[2 + i].toSweepPoint());
         dvs.push_back(results[2 + rates.size() + i].toSweepPoint());
+    }
+
+    // Artifact: the two zero-load probes plus both labelled sweeps.
+    const struct
+    {
+        const char *label;
+        const network::ExperimentSpec *spec;
+        std::size_t offset;
+    } sweeps[] = {{"no-dvs", &baseSpec, 2},
+                  {"history-dvs", &dvsSpec, 2 + rates.size()}};
+    for (std::size_t s = 0; s < 2; ++s) {
+        Json probe = Json::object();
+        probe["type"] = Json("point");
+        probe["label"] =
+            Json(std::string("zero-load-") + (s == 0 ? "base" : "dvs"));
+        probe["result"] = exp::toJson(results[s]);
+        recordResult(std::move(probe));
+
+        Json entry = Json::object();
+        entry["type"] = Json("sweep");
+        entry["label"] = Json(sweeps[s].label);
+        entry["spec"] = network::toJson(*sweeps[s].spec);
+        Json points = Json::array();
+        for (std::size_t i = 0; i < rates.size(); ++i)
+            points.push(exp::toJson(results[sweeps[s].offset + i]));
+        entry["points"] = std::move(points);
+        recordResult(std::move(entry));
     }
 
     Table t({"rate", "offered", "lat base", "lat DVS", "thr base",

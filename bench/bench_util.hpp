@@ -2,7 +2,16 @@
  * @file
  * Shared helpers for the figure/table bench binaries: canonical paper
  * configuration, fidelity knobs (cycle counts via key=value args or
- * DVSNET_* environment variables), and uniform output headers.
+ * DVSNET_* environment variables), uniform output headers, and the
+ * machine-readable run artifact (`--json <path>`).
+ *
+ * Every bench binary emits, besides its human-readable tables, an
+ * optional self-describing JSON artifact: schema id, binary/figure
+ * identity, git describe, config echo, seed/threads/fidelity, wall
+ * clock, and one entry per printed table / executed sweep / executed
+ * point (schema `dvsnet-bench-v1`; see EXPERIMENTS.md).  `--quick`
+ * drops fidelity to smoke level so CI can validate every artifact in
+ * seconds.
  */
 
 #pragma once
@@ -41,6 +50,18 @@ struct BenchOptions
      *  threads).  Results are seed-deterministic, so the thread count
      *  changes wall-clock only, never the numbers. */
     std::size_t threads = 0;
+
+    /** Smoke-test fidelity (`--quick`): tiny warm-up/measure windows,
+     *  2-point sweeps and a scaled-down workload.  Explicit keys and
+     *  DVSNET_* environment variables still override. */
+    bool quick = false;
+
+    /** Write the machine-readable run artifact here (`--json <path>`;
+     *  empty = no artifact). */
+    std::string jsonPath;
+
+    /** Binary name (argv[0] basename), echoed into the artifact. */
+    std::string binaryName;
 
     Config raw;
 };
@@ -89,12 +110,30 @@ runPoints(const BenchOptions &opts,
  */
 network::ExperimentSpec paperSpec(const BenchOptions &opts);
 
-/** Print the bench banner: figure id, description, fidelity. */
+/**
+ * Print the bench banner: figure id, description, fidelity.  Also
+ * begins the run artifact (config echo, identity, fidelity); results
+ * recorded afterwards by printTable/runSweeps/runPoints land in it.
+ */
 void printHeader(const std::string &figure, const std::string &what,
                  const BenchOptions &opts);
 
-/** Print a table in the selected format. */
+/** Print a table in the selected format (and record it, see below). */
 void printTable(const Table &table, const BenchOptions &opts);
+
+/**
+ * Append one structured entry to the run artifact.  printTable records
+ * every printed table automatically; the sweep/point helpers record
+ * their per-point results — call this directly only for bespoke data.
+ */
+void recordResult(Json entry);
+
+/**
+ * Write the artifact started by printHeader to `opts.jsonPath`
+ * (no-op without `--json`).  Every bench main calls this last.
+ * Fatal if the file cannot be written.
+ */
+void finishReport(const BenchOptions &opts);
 
 /** Default injection-rate grid used by the latency/power sweeps. */
 std::vector<double> defaultRates(const BenchOptions &opts, double lo = 0.2,

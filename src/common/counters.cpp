@@ -1,0 +1,107 @@
+#include "common/counters.hpp"
+
+namespace dvsnet
+{
+
+void
+SimAssert::fail(const std::string &message)
+{
+    ++failures_;
+    if (messages_.size() < kMaxMessages)
+        messages_.push_back(message);
+    if (failFast_)
+        DVSNET_PANIC("invariant '", name_, "' violated: ", message);
+}
+
+Json
+SimAssert::toJson() const
+{
+    Json j = Json::object();
+    j["checks"] = Json(checks_);
+    j["failures"] = Json(failures_);
+    Json msgs = Json::array();
+    for (const auto &m : messages_)
+        msgs.push(Json(m));
+    j["messages"] = std::move(msgs);
+    return j;
+}
+
+std::uint64_t &
+CounterRegistry::counter(const std::string &name)
+{
+    return counters_.try_emplace(name, 0).first->second;
+}
+
+double &
+CounterRegistry::gauge(const std::string &name)
+{
+    return gauges_.try_emplace(name, 0.0).first->second;
+}
+
+SimAssert &
+CounterRegistry::invariant(const std::string &name)
+{
+    return invariants_.try_emplace(name, SimAssert(name, failFast_))
+        .first->second;
+}
+
+std::uint64_t
+CounterRegistry::counterValue(const std::string &name) const
+{
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+const SimAssert *
+CounterRegistry::findInvariant(const std::string &name) const
+{
+    const auto it = invariants_.find(name);
+    return it == invariants_.end() ? nullptr : &it->second;
+}
+
+void
+CounterRegistry::setFailFast(bool failFast)
+{
+    failFast_ = failFast;
+    for (auto &entry : invariants_)
+        entry.second.setFailFast(failFast);
+}
+
+std::uint64_t
+CounterRegistry::totalInvariantChecks() const
+{
+    std::uint64_t total = 0;
+    for (const auto &entry : invariants_)
+        total += entry.second.checks();
+    return total;
+}
+
+std::uint64_t
+CounterRegistry::totalInvariantFailures() const
+{
+    std::uint64_t total = 0;
+    for (const auto &entry : invariants_)
+        total += entry.second.failures();
+    return total;
+}
+
+Json
+CounterRegistry::toJson() const
+{
+    Json j = Json::object();
+    Json counters = Json::object();
+    for (const auto &entry : counters_)
+        counters[entry.first] = Json(entry.second);
+    j["counters"] = std::move(counters);
+    Json gauges = Json::object();
+    for (const auto &entry : gauges_)
+        gauges[entry.first] = Json(entry.second);
+    j["gauges"] = std::move(gauges);
+    Json invariants = Json::object();
+    for (const auto &entry : invariants_)
+        invariants[entry.first] = entry.second.toJson();
+    j["invariants"] = std::move(invariants);
+    return j;
+}
+
+} // namespace dvsnet

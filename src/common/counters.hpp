@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Runtime observability registry: named counters/gauges plus SimAssert,
+ * a cheap always-on invariant facility.
+ *
+ * Components register into a CounterRegistry owned by their Network (or
+ * a test) and cache the returned references — a registered counter is a
+ * plain `std::uint64_t &`, so the per-event cost is one increment.
+ * SimAssert tracks how often each invariant was checked and records (or
+ * panics on, in fail-fast mode) violations, so an end-of-run artifact
+ * can prove "credit conservation was checked N times, 0 failures"
+ * instead of silently assuming it.
+ *
+ * Checked invariants in the simulator proper:
+ *  - `network.credit_conservation` — per-channel credits + buffered +
+ *    in-flight flits/credits equal the downstream buffer capacity;
+ *  - `metrics.packet_accounting` — window-created packets are either
+ *    delivered or still in flight, never lost;
+ *  - `power.ledger_agreement` — the ledger's total energy equals the
+ *    sum of its per-channel energies (redundant-path accounting check);
+ *  - `dvs.transition_sequencing` — level steps are adjacent-only and
+ *    follow the paper's ordering (voltage-first speeding up,
+ *    frequency-first slowing down).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/fatal.hpp"
+#include "common/json.hpp"
+
+namespace dvsnet
+{
+
+/**
+ * One named runtime invariant: counts checks, records violations.
+ *
+ * In fail-fast mode (the default) a violation panics like
+ * DVSNET_ASSERT; with fail-fast off it is recorded (message capped) and
+ * the run continues — used by tests that exercise the failure path and
+ * by exploratory runs that want a post-mortem instead of an abort.
+ */
+class SimAssert
+{
+  public:
+    explicit SimAssert(std::string name, bool failFast = true)
+        : name_(std::move(name)), failFast_(failFast)
+    {
+    }
+
+    /** Check one invariant instance; hot path is one increment. */
+    template <typename... Args>
+    void
+    check(bool ok, Args &&...msg)
+    {
+        ++checks_;
+        if (ok) [[likely]]
+            return;
+        fail(detail::concat(std::forward<Args>(msg)...));
+    }
+
+    /** Record a violation directly (panics in fail-fast mode). */
+    void fail(const std::string &message);
+
+    const std::string &name() const { return name_; }
+    std::uint64_t checks() const { return checks_; }
+    std::uint64_t failures() const { return failures_; }
+
+    /** First violations, capped at kMaxMessages. */
+    const std::vector<std::string> &messages() const { return messages_; }
+
+    bool failFast() const { return failFast_; }
+    void setFailFast(bool failFast) { failFast_ = failFast; }
+
+    /** {"checks": N, "failures": N, "messages": [...]} */
+    Json toJson() const;
+
+    static constexpr std::size_t kMaxMessages = 8;
+
+  private:
+    std::string name_;
+    std::uint64_t checks_ = 0;
+    std::uint64_t failures_ = 0;
+    bool failFast_;
+    std::vector<std::string> messages_;
+};
+
+/**
+ * Name-keyed registry of counters, gauges and invariants.
+ *
+ * References returned by counter()/gauge() are stable for the registry's
+ * lifetime (map nodes never move), so components look their slots up
+ * once and increment through the cached reference afterwards.  Export
+ * order is sorted by name, giving deterministic artifacts.
+ */
+class CounterRegistry
+{
+  public:
+    /** Monotonic event counter (created at 0 on first use). */
+    std::uint64_t &counter(const std::string &name);
+
+    /** Point-in-time measurement (created at 0.0 on first use). */
+    double &gauge(const std::string &name);
+
+    /** Named invariant; created with the registry's fail-fast default. */
+    SimAssert &invariant(const std::string &name);
+
+    /** Counter value without creating the slot (0 when absent). */
+    std::uint64_t counterValue(const std::string &name) const;
+
+    /** Invariant lookup without creating it; nullptr when absent. */
+    const SimAssert *findInvariant(const std::string &name) const;
+
+    /** Apply to existing invariants and to ones registered later. */
+    void setFailFast(bool failFast);
+
+    /** Sum of checks()/failures() over every registered invariant. */
+    std::uint64_t totalInvariantChecks() const;
+    std::uint64_t totalInvariantFailures() const;
+
+    /** {"counters": {...}, "gauges": {...}, "invariants": {...}} */
+    Json toJson() const;
+
+  private:
+    std::map<std::string, std::uint64_t> counters_;
+    std::map<std::string, double> gauges_;
+    std::map<std::string, SimAssert> invariants_;
+    bool failFast_ = true;
+};
+
+} // namespace dvsnet

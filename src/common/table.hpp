@@ -26,6 +26,15 @@ class Table
     /** Number of data rows. */
     std::size_t rows() const { return rows_.size(); }
 
+    /** Column headers (for structured export). */
+    const std::vector<std::string> &headers() const { return headers_; }
+
+    /** All data rows (for structured export). */
+    const std::vector<std::vector<std::string>> &rowData() const
+    {
+        return rows_;
+    }
+
     /** Render as an aligned, boxed text table. */
     std::string toText() const;
 

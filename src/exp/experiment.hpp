@@ -60,6 +60,12 @@ struct PointResult
     }
 };
 
+/**
+ * Artifact entry for one executed point: rate, seed, label, wall-clock,
+ * and either the results object (ok) or the error string.
+ */
+Json toJson(const PointResult &result);
+
 /** Completion snapshot handed to the progress callback. */
 struct Progress
 {

@@ -12,6 +12,24 @@
 namespace dvsnet::exp
 {
 
+Json
+toJson(const PointResult &result)
+{
+    Json j = Json::object();
+    j["injection_rate"] = Json(result.injectionRate);
+    // Full-range uint64 (splitmix64 stream); decimal string, not number.
+    j["seed"] = Json(std::to_string(result.seed));
+    if (!result.label.empty())
+        j["label"] = Json(result.label);
+    j["ok"] = Json(result.ok);
+    j["wall_seconds"] = Json(result.wallSeconds);
+    if (result.ok)
+        j["results"] = network::toJson(result.results);
+    else
+        j["error"] = Json(result.error);
+    return j;
+}
+
 std::uint64_t
 pointSeed(std::uint64_t baseSeed, std::uint64_t index)
 {

@@ -34,6 +34,24 @@ DvsChannel::DvsChannel(sim::Kernel &kernel, std::size_t ledgerIndex,
 }
 
 void
+DvsChannel::attachObservability(CounterRegistry *registry)
+{
+    if (registry == nullptr) {
+        ctrStepsStarted_ = nullptr;
+        ctrStepsCompleted_ = nullptr;
+        ctrStepsRejected_ = nullptr;
+        ctrFlitsSent_ = nullptr;
+        seqAssert_ = nullptr;
+        return;
+    }
+    ctrStepsStarted_ = &registry->counter("dvs.steps_started");
+    ctrStepsCompleted_ = &registry->counter("dvs.steps_completed");
+    ctrStepsRejected_ = &registry->counter("dvs.steps_rejected");
+    ctrFlitsSent_ = &registry->counter("link.flits_sent");
+    seqAssert_ = &registry->invariant("dvs.transition_sequencing");
+}
+
+void
 DvsChannel::connectFlitSink(router::Inbox<router::Flit> *sink)
 {
     flitSink_ = sink;
@@ -77,6 +95,8 @@ DvsChannel::send(const router::Flit &flit, Tick earliest)
     nextFree_ = departure + period_;
     busyTicks_ += period_;
     ++flitsSent_;
+    if (ctrFlitsSent_ != nullptr)
+        ++*ctrFlitsSent_;
 
     // Serialization (one link cycle) + fixed wire propagation.
     const Tick arrival = departure + period_ + params_.propagationDelay;
@@ -98,15 +118,22 @@ DvsChannel::sendCredit(VcId vc, Tick now)
 bool
 DvsChannel::requestStep(bool faster, Tick now)
 {
-    if (state_ != State::Stable)
+    if (state_ != State::Stable || (faster && level_ == table_.fastest()) ||
+        (!faster && level_ == table_.slowest())) {
+        if (ctrStepsRejected_ != nullptr)
+            ++*ctrStepsRejected_;
         return false;
-    if (faster && level_ == table_.fastest())
-        return false;
-    if (!faster && level_ == table_.slowest())
-        return false;
+    }
 
     prevLevel_ = level_;
     level_ = faster ? level_ - 1 : level_ + 1;
+    if (ctrStepsStarted_ != nullptr)
+        ++*ctrStepsStarted_;
+    if (seqAssert_ != nullptr) {
+        seqAssert_->check(level_ + 1 == prevLevel_ || level_ == prevLevel_ + 1,
+                          "non-adjacent level step ", prevLevel_, " -> ",
+                          level_);
+    }
     const DvsLevel &from = table_.level(prevLevel_);
     const DvsLevel &to = table_.level(level_);
 
@@ -138,6 +165,16 @@ void
 DvsChannel::beginFreqLock(Tick now)
 {
     const DvsLevel &to = table_.level(level_);
+    if (seqAssert_ != nullptr) {
+        // Paper ordering: when speeding up, the voltage ramp must have
+        // run first (we arrive here from VoltRampUp); when slowing
+        // down, the lock comes first (straight from Stable).
+        const bool speedup = level_ < prevLevel_;
+        seqAssert_->check(
+            speedup ? state_ == State::VoltRampUp : state_ == State::Stable,
+            "frequency lock entered from state ", static_cast<int>(state_),
+            " for a ", speedup ? "speed-up" : "slow-down", " step");
+    }
     state_ = State::FreqLock;
     period_ = to.period;
     const Tick lockEnd =
@@ -155,12 +192,19 @@ DvsChannel::beginFreqLock(Tick now)
     kernel_.at(lockEnd, [this, wasSpeedup] {
         const Tick t = kernel_.now();
         const DvsLevel &target = table_.level(level_);
+        if (seqAssert_ != nullptr) {
+            seqAssert_->check(state_ == State::FreqLock,
+                              "lock completion in state ",
+                              static_cast<int>(state_));
+        }
         if (wasSpeedup) {
             // Voltage already settled; the transition is complete.
             state_ = State::Stable;
             voltage_ = target.voltage;
             setOperatingPower(t, voltage_, target.frequencyHz);
             ++transitions_;
+            if (ctrStepsCompleted_ != nullptr)
+                ++*ctrStepsCompleted_;
         } else {
             // Frequency settled; ramp the voltage down.
             state_ = State::VoltRampDown;
@@ -168,10 +212,17 @@ DvsChannel::beginFreqLock(Tick now)
             kernel_.at(t + params_.voltageTransitionLatency, [this] {
                 const Tick tt = kernel_.now();
                 const DvsLevel &lvl = table_.level(level_);
+                if (seqAssert_ != nullptr) {
+                    seqAssert_->check(state_ == State::VoltRampDown,
+                                      "ramp-down completion in state ",
+                                      static_cast<int>(state_));
+                }
                 state_ = State::Stable;
                 voltage_ = lvl.voltage;
                 setOperatingPower(tt, voltage_, lvl.frequencyHz);
                 ++transitions_;
+                if (ctrStepsCompleted_ != nullptr)
+                    ++*ctrStepsCompleted_;
             });
         }
     });

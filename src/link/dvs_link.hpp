@@ -31,6 +31,7 @@
 
 #include <cstdint>
 
+#include "common/counters.hpp"
 #include "common/types.hpp"
 #include "link/dvs_level.hpp"
 #include "power/energy_ledger.hpp"
@@ -91,6 +92,16 @@ class DvsChannel final : public router::FlitChannel,
                const DvsLevelTable &table, const DvsLinkParams &params,
                power::EnergyLedger *ledger,
                power::TransitionEnergyModel energyModel = {});
+
+    /**
+     * Register this channel's counters and the transition-sequencing
+     * invariant into `registry` (shared across channels; nullptr
+     * detaches).  The invariant enforces the paper's legality rules:
+     * steps move between adjacent levels only, start from a stable
+     * channel, ramp voltage before the frequency lock when speeding up
+     * and lock frequency before the ramp when slowing down.
+     */
+    void attachObservability(CounterRegistry *registry);
 
     /** Attach the downstream router's flit inbox. */
     void connectFlitSink(router::Inbox<router::Flit> *sink);
@@ -157,6 +168,13 @@ class DvsChannel final : public router::FlitChannel,
 
     router::Inbox<router::Flit> *flitSink_ = nullptr;
     router::Inbox<VcId> *creditSink_ = nullptr;
+
+    // Cached observability slots (null when no registry is attached).
+    std::uint64_t *ctrStepsStarted_ = nullptr;
+    std::uint64_t *ctrStepsCompleted_ = nullptr;
+    std::uint64_t *ctrStepsRejected_ = nullptr;
+    std::uint64_t *ctrFlitsSent_ = nullptr;
+    SimAssert *seqAssert_ = nullptr;
 
     State state_ = State::Stable;
     std::size_t level_;         ///< settled level (target during transition)

@@ -49,6 +49,53 @@ MetricsCollector::onFlitEjected(const router::Flit &flit, Tick arrival)
     return counted;
 }
 
+std::size_t
+MetricsCollector::windowInFlight() const
+{
+    std::size_t count = 0;
+    for (const auto &entry : pending_) {
+        if (entry.second.inWindow)
+            ++count;
+    }
+    return count;
+}
+
+void
+MetricsCollector::verify(SimAssert &inv) const
+{
+    const std::size_t pendingInWindow = windowInFlight();
+    inv.check(packetsCreated_ == packetsDelivered_ + pendingInWindow,
+              "packet accounting mismatch: created=", packetsCreated_,
+              " delivered=", packetsDelivered_,
+              " in-flight-in-window=", pendingInWindow);
+    inv.check(packetsDelivered_ <= packetsCreated_,
+              "delivered ", packetsDelivered_, " exceeds created ",
+              packetsCreated_);
+}
+
+Json
+toJson(const RunResults &r)
+{
+    Json j = Json::object();
+    j["measured_cycles"] = Json(static_cast<std::uint64_t>(r.measuredCycles));
+    j["packets_created"] = Json(r.packetsCreated);
+    j["packets_delivered"] = Json(r.packetsDelivered);
+    j["flits_ejected"] = Json(r.flitsEjected);
+    j["offered_load_pkts_per_cycle"] = Json(r.offeredLoadPktsPerCycle);
+    j["throughput_pkts_per_cycle"] = Json(r.throughputPktsPerCycle);
+    j["throughput_flits_per_cycle"] = Json(r.throughputFlitsPerCycle);
+    j["avg_latency_cycles"] = Json(r.avgLatencyCycles);
+    j["max_latency_cycles"] = Json(r.maxLatencyCycles);
+    j["avg_power_w"] = Json(r.avgPowerW);
+    j["normalized_power"] = Json(r.normalizedPower);
+    j["savings_factor"] = Json(r.savingsFactor);
+    j["transition_energy_j"] = Json(r.transitionEnergyJ);
+    j["avg_channel_level"] = Json(r.avgChannelLevel);
+    j["invariant_checks"] = Json(r.invariantChecks);
+    j["invariant_failures"] = Json(r.invariantFailures);
+    return j;
+}
+
 void
 MetricsCollector::beginWindow(Tick now)
 {

@@ -16,6 +16,8 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "common/counters.hpp"
+#include "common/json.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "router/flit.hpp"
@@ -40,7 +42,15 @@ struct RunResults
     double savingsFactor = 1.0;    ///< reference / measured (paper's "X")
     double transitionEnergyJ = 0.0;
     double avgChannelLevel = 0.0;  ///< mean DVS level at run end
+
+    /** SimAssert totals over the run's registry at collection time, so
+     *  an exported artifact carries proof the invariants actually ran. */
+    std::uint64_t invariantChecks = 0;
+    std::uint64_t invariantFailures = 0;
 };
+
+/** Flat JSON object with every RunResults field (artifact schema v1). */
+Json toJson(const RunResults &results);
 
 /** Collects packet lifecycle events. */
 class MetricsCollector
@@ -76,6 +86,16 @@ class MetricsCollector
 
     /** Packets currently in flight (created, not fully ejected). */
     std::size_t inFlight() const { return pending_.size(); }
+
+    /** In-flight packets that were created inside the window. */
+    std::size_t windowInFlight() const;
+
+    /**
+     * Check packet accounting against `inv`: every window-created packet
+     * is either delivered or still pending (counter vs. pending-map
+     * redundant paths agree).
+     */
+    void verify(SimAssert &inv) const;
 
     /** Tick of the most recent ejection (stall detection). */
     Tick lastEjection() const { return lastEjection_; }

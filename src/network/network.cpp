@@ -22,6 +22,64 @@ validated(const NetworkConfig &config)
 
 } // namespace
 
+const char *
+policyKindName(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::None: return "none";
+      case PolicyKind::History: return "history";
+      case PolicyKind::LinkUtilOnly: return "link-util-only";
+      case PolicyKind::StaticLevel: return "static-level";
+      case PolicyKind::DynamicThreshold: return "dynamic-threshold";
+    }
+    DVSNET_PANIC("unknown policy kind");
+}
+
+const char *
+routingKindName(RoutingKind kind)
+{
+    switch (kind) {
+      case RoutingKind::Dor: return "dor";
+      case RoutingKind::MinimalAdaptive: return "minimal-adaptive";
+    }
+    DVSNET_PANIC("unknown routing kind");
+}
+
+Json
+toJson(const NetworkConfig &config)
+{
+    Json j = Json::object();
+    j["radix"] = Json(static_cast<std::int64_t>(config.radix));
+    j["dims"] = Json(static_cast<std::int64_t>(config.dims));
+    j["torus"] = Json(config.torus);
+    Json router = Json::object();
+    router["num_vcs"] = Json(static_cast<std::int64_t>(config.router.numVcs));
+    router["buffer_per_port"] =
+        Json(static_cast<std::uint64_t>(config.router.bufferPerPort));
+    router["pipeline_latency"] =
+        Json(static_cast<std::int64_t>(config.router.pipelineLatency));
+    j["router"] = std::move(router);
+    Json link = Json::object();
+    link["voltage_transition_ticks"] =
+        Json(static_cast<std::uint64_t>(config.link.voltageTransitionLatency));
+    link["freq_transition_link_cycles"] =
+        Json(static_cast<std::uint64_t>(config.link.freqTransitionLinkCycles));
+    link["initial_level"] =
+        Json(static_cast<std::uint64_t>(config.link.initialLevel));
+    link["links_per_channel"] =
+        Json(static_cast<std::uint64_t>(config.link.linksPerChannel));
+    j["link"] = std::move(link);
+    j["policy"] = Json(policyKindName(config.policy));
+    j["policy_window"] = Json(static_cast<std::uint64_t>(config.policyWindow));
+    j["policy_cooldown"] =
+        Json(static_cast<std::uint64_t>(config.policyCooldown));
+    j["static_level"] = Json(static_cast<std::uint64_t>(config.staticLevel));
+    j["routing"] = Json(routingKindName(config.routing));
+    j["packet_length"] =
+        Json(static_cast<std::int64_t>(config.packetLength));
+    return j;
+}
+
 std::vector<std::string>
 NetworkConfig::validate() const
 {
@@ -121,6 +179,7 @@ Network::build()
         auto channel = std::make_unique<link::DvsChannel>(
             kernel_, static_cast<std::size_t>(ch.id), levels_,
             config_.link, ledger_.get());
+        channel->attachObservability(&registry_);
         channel->connectFlitSink(
             &routers_[static_cast<std::size_t>(ch.dst)]->flitInbox(
                 ch.dstPort));
@@ -316,6 +375,14 @@ Network::run(Cycle warmup, Cycle measure)
 RunResults
 Network::collect() const
 {
+    // End-of-run invariant sweep: flow control, packet accounting and
+    // ledger agreement are all cheap relative to the run itself, so
+    // every collected result is a verified one.
+    verifyFlowControlInvariants();
+    metrics_.verify(registry_.invariant("metrics.packet_accounting"));
+    ledger_->verify(registry_.invariant("power.ledger_agreement"),
+                    kernel_.now());
+
     RunResults res;
     const Tick now = kernel_.now();
     res.measuredCycles = ticksToCycles(now) - measureStartCycle_;
@@ -338,6 +405,8 @@ Network::collect() const
     res.savingsFactor = ledger_->savingsFactor(now);
     res.transitionEnergyJ = ledger_->totalTransitionEnergy();
     res.avgChannelLevel = averageChannelLevel();
+    res.invariantChecks = registry_.totalInvariantChecks();
+    res.invariantFailures = registry_.totalInvariantFailures();
     return res;
 }
 
@@ -374,6 +443,7 @@ Network::sourceQueueDepth(NodeId node) const
 void
 Network::verifyFlowControlInvariants() const
 {
+    SimAssert &inv = registry_.invariant("network.credit_conservation");
     const auto perVcCapacity =
         config_.router.bufferPerPort /
         static_cast<std::size_t>(config_.router.numVcs);
@@ -395,12 +465,12 @@ Network::verifyFlowControlInvariants() const
 
         const std::size_t total =
             credits + buffered + flitsInFlight + creditsInFlight;
-        DVSNET_ASSERT(total == portCapacity,
-                      "credit conservation violated on channel ", ch.id,
-                      ": credits=", credits, " buffered=", buffered,
-                      " flits-in-flight=", flitsInFlight,
-                      " credits-in-flight=", creditsInFlight,
-                      " capacity=", portCapacity);
+        inv.check(total == portCapacity,
+                  "credit conservation violated on channel ", ch.id,
+                  ": credits=", credits, " buffered=", buffered,
+                  " flits-in-flight=", flitsInFlight,
+                  " credits-in-flight=", creditsInFlight,
+                  " capacity=", portCapacity);
     }
 }
 

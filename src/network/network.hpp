@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "common/counters.hpp"
+#include "common/json.hpp"
 #include "common/types.hpp"
 #include "core/controller.hpp"
 #include "core/dynamic_threshold.hpp"
@@ -49,6 +51,10 @@ enum class RoutingKind
     MinimalAdaptive,
 };
 
+/** Stable lower-case names for artifact/config serialization. */
+const char *policyKindName(PolicyKind kind);
+const char *routingKindName(RoutingKind kind);
+
 /** Full network configuration (defaults = the paper's Section 4.2). */
 struct NetworkConfig
 {
@@ -80,6 +86,9 @@ struct NetworkConfig
      */
     std::vector<std::string> validate() const;
 };
+
+/** Config echo for run artifacts: every NetworkConfig field. */
+Json toJson(const NetworkConfig &config);
 
 /** The simulated interconnection network. */
 class Network
@@ -125,6 +134,14 @@ class Network
     power::EnergyLedger &ledger() { return *ledger_; }
     MetricsCollector &metrics() { return metrics_; }
     const link::DvsLevelTable &levelTable() const { return levels_; }
+
+    /**
+     * Counters and SimAssert invariants registered by this network's
+     * components (credit conservation, packet accounting, ledger
+     * agreement, DVS transition sequencing).  Queryable mid-run and
+     * exportable via CounterRegistry::toJson().
+     */
+    CounterRegistry &observability() const { return registry_; }
 
     /** Controller for channel `id`; nullptr when policy == None. */
     core::PortDvsController *controller(ChannelId id);
@@ -198,6 +215,11 @@ class Network
     std::vector<std::unique_ptr<EjectionSink>> sinks_;
     std::vector<SourceState> sources_;
     MetricsCollector metrics_;
+
+    /** Mutable: invariant checks from const paths (collect()) count
+     *  their executions here. */
+    mutable CounterRegistry registry_;
+
     router::PacketId nextPacketId_ = 1;
     bool stepping_ = false;
     Cycle measureStartCycle_ = 0;

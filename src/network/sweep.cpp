@@ -9,6 +9,41 @@
 namespace dvsnet::network
 {
 
+Json
+toJson(const ExperimentSpec &spec)
+{
+    Json j = Json::object();
+    j["network"] = toJson(spec.network);
+    Json wl = Json::object();
+    wl["avg_concurrent_tasks"] = Json(spec.workload.avgConcurrentTasks);
+    wl["mean_task_duration_cycles"] =
+        Json(spec.workload.meanTaskDurationCycles);
+    wl["duration_spread"] = Json(spec.workload.durationSpread);
+    wl["network_injection_rate"] = Json(spec.workload.networkInjectionRate);
+    wl["rate_spread"] = Json(spec.workload.rateSpread);
+    wl["sources_per_task"] =
+        Json(static_cast<std::int64_t>(spec.workload.sourcesPerTask));
+    wl["locality_radius"] =
+        Json(static_cast<std::int64_t>(spec.workload.localityRadius));
+    wl["p_local"] = Json(spec.workload.pLocal);
+    wl["per_packet_destination"] = Json(spec.workload.perPacketDestination);
+    // Full-range uint64; JSON numbers are lossy past 2^53, so decimal string.
+    wl["seed"] = Json(std::to_string(spec.workload.seed));
+    j["workload"] = std::move(wl);
+    j["warmup_cycles"] = Json(static_cast<std::uint64_t>(spec.warmup));
+    j["measure_cycles"] = Json(static_cast<std::uint64_t>(spec.measure));
+    return j;
+}
+
+Json
+toJson(const SweepPoint &point)
+{
+    Json j = Json::object();
+    j["injection_rate"] = Json(point.injectionRate);
+    j["results"] = toJson(point.results);
+    return j;
+}
+
 std::vector<std::string>
 ExperimentSpec::validate() const
 {

@@ -50,6 +50,12 @@ struct SweepPoint
     RunResults results;
 };
 
+/** Full experiment echo: network config, workload and windows. */
+Json toJson(const ExperimentSpec &spec);
+
+/** {"injection_rate": r, "results": {...}} */
+Json toJson(const SweepPoint &point);
+
 /**
  * Run a single point at the given network-wide injection rate, seeded
  * with `spec.workload.seed`.

@@ -1,5 +1,8 @@
 #include "power/energy_ledger.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/fatal.hpp"
 
 namespace dvsnet::power
@@ -60,6 +63,21 @@ EnergyLedger::channelAveragePower(std::size_t ch, Tick now) const
 }
 
 double
+EnergyLedger::channelEnergy(std::size_t ch, Tick now) const
+{
+    DVSNET_ASSERT(ch < accounts_.size(), "channel out of range");
+    return accounts_[ch].power.integral(ticksToSeconds(now)) +
+           accounts_[ch].windowTransitionJ;
+}
+
+double
+EnergyLedger::channelTransitionEnergy(std::size_t ch) const
+{
+    DVSNET_ASSERT(ch < accounts_.size(), "channel out of range");
+    return accounts_[ch].windowTransitionJ;
+}
+
+double
 EnergyLedger::totalEnergy(Tick now) const
 {
     double joules = totalTransitionJ_;
@@ -91,6 +109,52 @@ EnergyLedger::savingsFactor(Tick now) const
     if (p <= 0.0)
         return 0.0;
     return referencePower() / p;
+}
+
+void
+EnergyLedger::verify(SimAssert &inv, Tick now) const
+{
+    // totalEnergy integrates per-channel power plus the network-wide
+    // transition total; channelEnergy uses the per-channel transition
+    // shares.  The two paths must agree up to summation rounding.
+    double channelSum = 0.0;
+    for (std::size_t ch = 0; ch < accounts_.size(); ++ch)
+        channelSum += channelEnergy(ch, now);
+    const double total = totalEnergy(now);
+    const double tolerance = 1e-9 * std::max(1.0, std::abs(total));
+    inv.check(std::abs(channelSum - total) <= tolerance,
+              "ledger disagreement: sum of per-channel energies ",
+              channelSum, " J vs total ", total, " J");
+    double transitionSum = 0.0;
+    for (const auto &acc : accounts_)
+        transitionSum += acc.windowTransitionJ;
+    inv.check(std::abs(transitionSum - totalTransitionJ_) <=
+                  1e-9 * std::max(1.0, std::abs(totalTransitionJ_)),
+              "transition-energy disagreement: per-channel sum ",
+              transitionSum, " J vs total ", totalTransitionJ_, " J");
+}
+
+Json
+EnergyLedger::toJson(Tick now) const
+{
+    Json j = Json::object();
+    j["reference_power_w"] = Json(referencePower());
+    j["total_energy_j"] = Json(totalEnergy(now));
+    j["transition_energy_j"] = Json(totalTransitionJ_);
+    j["average_power_w"] = Json(averagePower(now));
+    j["normalized_power"] = Json(normalizedPower(now));
+    Json channels = Json::array();
+    for (std::size_t ch = 0; ch < accounts_.size(); ++ch) {
+        Json entry = Json::object();
+        entry["channel"] = Json(static_cast<std::uint64_t>(ch));
+        entry["energy_j"] = Json(channelEnergy(ch, now));
+        entry["transition_j"] = Json(channelTransitionEnergy(ch));
+        entry["avg_power_w"] = Json(channelAveragePower(ch, now));
+        entry["power_now_w"] = Json(channelPowerNow(ch));
+        channels.push(std::move(entry));
+    }
+    j["channels"] = std::move(channels);
+    return j;
 }
 
 } // namespace dvsnet::power

@@ -15,6 +15,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/counters.hpp"
+#include "common/json.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 
@@ -47,6 +49,12 @@ class EnergyLedger
     /** Mean power of channel `ch` over the window (W, incl. transitions). */
     double channelAveragePower(std::size_t ch, Tick now) const;
 
+    /** Energy of channel `ch` over the window (J, incl. transitions). */
+    double channelEnergy(std::size_t ch, Tick now) const;
+
+    /** Transition overhead charged to channel `ch` this window (J). */
+    double channelTransitionEnergy(std::size_t ch) const;
+
     /** Total network energy over the window (J, incl. transitions). */
     double totalEnergy(Tick now) const;
 
@@ -72,6 +80,20 @@ class EnergyLedger
     double savingsFactor(Tick now) const;
 
     std::size_t numChannels() const { return accounts_.size(); }
+
+    /**
+     * Check internal accounting against `inv`: the total reported
+     * energy equals the sum of the per-channel energies (two
+     * independently maintained paths through the ledger).
+     */
+    void verify(SimAssert &inv, Tick now) const;
+
+    /**
+     * Per-channel energy/transition breakdown plus totals:
+     * {"reference_power_w", "total_energy_j", "transition_energy_j",
+     *  "average_power_w", "normalized_power", "channels": [...]}.
+     */
+    Json toJson(Tick now) const;
 
   private:
     struct Account

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Property test for EnergyLedger: under randomized sequences of power
+ * changes, transition-overhead deposits and window restarts, the sum of
+ * per-channel energies must equal the total energy (the redundant-path
+ * agreement the `power.ledger_agreement` invariant checks at the end of
+ * every network run), and a window restart must zero every measured
+ * quantity.  The test maintains its own independent piecewise-constant
+ * integrator as the reference.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/counters.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "power/energy_ledger.hpp"
+
+using dvsnet::Rng;
+using dvsnet::SimAssert;
+using dvsnet::Tick;
+using dvsnet::ticksToSeconds;
+using dvsnet::power::EnergyLedger;
+
+namespace
+{
+
+/** Reference model: independent per-channel piecewise-constant math. */
+struct Reference
+{
+    struct Channel
+    {
+        double power = 0.0;      ///< current level (W)
+        double lastTime = 0.0;   ///< seconds of last change/window edge
+        double area = 0.0;       ///< integral since window start (J)
+        double transitionJ = 0.0;
+    };
+
+    explicit Reference(std::size_t n) : channels(n) {}
+
+    void
+    setPower(std::size_t ch, double powerW, Tick now)
+    {
+        auto &c = channels[ch];
+        const double t = ticksToSeconds(now);
+        c.area += c.power * (t - c.lastTime);
+        c.lastTime = t;
+        c.power = powerW;
+    }
+
+    void
+    addTransition(std::size_t ch, double joules)
+    {
+        channels[ch].transitionJ += joules;
+    }
+
+    void
+    beginWindow(Tick now)
+    {
+        const double t = ticksToSeconds(now);
+        for (auto &c : channels) {
+            c.lastTime = t;
+            c.area = 0.0;
+            c.transitionJ = 0.0;
+        }
+    }
+
+    double
+    channelEnergy(std::size_t ch, Tick now) const
+    {
+        const auto &c = channels[ch];
+        return c.area +
+               c.power * (ticksToSeconds(now) - c.lastTime) +
+               c.transitionJ;
+    }
+
+    double
+    totalEnergy(Tick now) const
+    {
+        double joules = 0.0;
+        for (std::size_t ch = 0; ch < channels.size(); ++ch)
+            joules += channelEnergy(ch, now);
+        return joules;
+    }
+
+    std::vector<Channel> channels;
+};
+
+} // namespace
+
+TEST(EnergyLedgerProperty, RandomizedSequencesAgreeWithReference)
+{
+    constexpr std::size_t kChannels = 7;
+    constexpr int kRounds = 40;
+    constexpr int kOpsPerRound = 60;
+
+    Rng rng(0x1ed9e5u);
+    EnergyLedger ledger(kChannels, 1.6);
+    Reference ref(kChannels);
+    SimAssert inv("power.ledger_agreement");  // fail-fast: panics on bug
+
+    Tick now = 0;
+    for (int round = 0; round < kRounds; ++round) {
+        for (int op = 0; op < kOpsPerRound; ++op) {
+            now += 1 + rng.next() % 5000;  // strictly increasing time
+            const auto ch =
+                static_cast<std::size_t>(rng.next() % kChannels);
+            switch (rng.next() % 4) {
+            case 0:
+            case 1: {  // power change (the common operation)
+                const double p = rng.uniform() * 2.0;
+                ledger.setChannelPower(ch, p, now);
+                ref.setPower(ch, p, now);
+                break;
+            }
+            case 2: {  // transition overhead deposit
+                const double j = rng.uniform() * 1e-6;
+                ledger.addTransitionEnergy(ch, j);
+                ref.addTransition(ch, j);
+                break;
+            }
+            default: {  // read-only probe mid-sequence
+                const double expected = ref.channelEnergy(ch, now);
+                EXPECT_NEAR(ledger.channelEnergy(ch, now), expected,
+                            1e-9 * std::max(1.0, std::abs(expected)))
+                    << "round " << round << " op " << op;
+                break;
+            }
+            }
+        }
+
+        // Property 1: sum of per-channel energies == total (both the
+        // ledger's own invariant and agreement with the reference).
+        ledger.verify(inv, now);
+        double channelSum = 0.0;
+        for (std::size_t ch = 0; ch < kChannels; ++ch)
+            channelSum += ledger.channelEnergy(ch, now);
+        const double total = ledger.totalEnergy(now);
+        EXPECT_NEAR(channelSum, total,
+                    1e-9 * std::max(1.0, std::abs(total)));
+        EXPECT_NEAR(total, ref.totalEnergy(now),
+                    1e-9 * std::max(1.0, std::abs(total)));
+
+        // Property 2: restarting the window zeroes every measured
+        // quantity while preserving current power levels.
+        if (round % 5 == 4) {
+            std::vector<double> levels(kChannels);
+            for (std::size_t ch = 0; ch < kChannels; ++ch)
+                levels[ch] = ledger.channelPowerNow(ch);
+            ledger.beginWindow(now);
+            ref.beginWindow(now);
+            EXPECT_EQ(ledger.totalEnergy(now), 0.0);
+            EXPECT_EQ(ledger.totalTransitionEnergy(), 0.0);
+            for (std::size_t ch = 0; ch < kChannels; ++ch) {
+                EXPECT_EQ(ledger.channelEnergy(ch, now), 0.0);
+                EXPECT_EQ(ledger.channelTransitionEnergy(ch), 0.0);
+                EXPECT_EQ(ledger.channelPowerNow(ch), levels[ch]);
+            }
+        }
+    }
+
+    EXPECT_GT(inv.checks(), 0u);
+    EXPECT_EQ(inv.failures(), 0u);
+}
+
+TEST(EnergyLedgerProperty, AveragePowerMatchesEnergyOverSpan)
+{
+    EnergyLedger ledger(2, 1.0);
+    Rng rng(99);
+    Tick now = 0;
+    for (int i = 0; i < 50; ++i) {
+        now += 1000 + rng.next() % 10000;
+        ledger.setChannelPower(rng.next() % 2, rng.uniform(), now);
+    }
+    const Tick end = now + 5000;
+    const double span = ticksToSeconds(end);
+    EXPECT_NEAR(ledger.averagePower(end),
+                ledger.totalEnergy(end) / span, 1e-12);
+    EXPECT_NEAR(ledger.normalizedPower(end),
+                ledger.averagePower(end) / ledger.referencePower(),
+                1e-12);
+}

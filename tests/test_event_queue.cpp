@@ -114,3 +114,92 @@ TEST(EventQueue, ExecutedCountAccumulates)
         q.executeNext();
     EXPECT_EQ(q.executedCount(), 5u);
 }
+
+// --- cancel-handle generation reuse -----------------------------------
+//
+// EventId packs (generation << 32 | slot); a slot is recycled once its
+// heap key pops (fired or cancelled-and-skipped).  These tests pin the
+// edge cases: a stale handle must never cancel the slot's new occupant.
+
+TEST(EventQueue, StaleHandleAfterCancelAndSlotReuse)
+{
+    EventQueue q;
+    bool cFired = false;
+    const auto idA = q.schedule(5, [] {});
+    ASSERT_TRUE(q.cancel(idA));
+
+    // The dead key still sits on the heap; nextTick() skips it, popping
+    // the key and recycling the slot.
+    EXPECT_EQ(q.nextTick(), dvsnet::kTickNever);
+    const auto idC = q.schedule(7, [&] { cFired = true; });
+
+    // Same slot, new generation: the stale handle must not resolve.
+    ASSERT_EQ(idA & 0xffffffffu, idC & 0xffffffffu);
+    ASSERT_NE(idA, idC);
+    EXPECT_FALSE(q.cancel(idA));
+
+    // The new occupant is unharmed.
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_EQ(q.executeNext(), Tick{7});
+    EXPECT_TRUE(cFired);
+}
+
+TEST(EventQueue, StaleHandleAfterExecutionAndSlotReuse)
+{
+    EventQueue q;
+    bool bFired = false;
+    const auto idA = q.schedule(5, [] {});
+    EXPECT_EQ(q.executeNext(), Tick{5});  // fires; slot recycled
+
+    const auto idB = q.schedule(6, [&] { bFired = true; });
+    ASSERT_EQ(idA & 0xffffffffu, idB & 0xffffffffu);
+    EXPECT_FALSE(q.cancel(idA));
+    EXPECT_EQ(q.executeNext(), Tick{6});
+    EXPECT_TRUE(bFired);
+}
+
+TEST(EventQueue, NextTickSkipsCancelledHeapTopChain)
+{
+    EventQueue q;
+    // Three earliest events all cancelled; the live one is last.
+    const auto a = q.schedule(1, [] {});
+    const auto b = q.schedule(2, [] {});
+    const auto c = q.schedule(3, [] {});
+    q.schedule(9, [] {});
+    ASSERT_TRUE(q.cancel(c));
+    ASSERT_TRUE(q.cancel(a));
+    ASSERT_TRUE(q.cancel(b));
+
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_EQ(q.nextTick(), Tick{9});
+    EXPECT_EQ(q.executeNext(), Tick{9});
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, ExecuteNextSkipsCancelledHeapTop)
+{
+    EventQueue q;
+    int fired = 0;
+    const auto a = q.schedule(1, [&] { ++fired; });
+    q.schedule(2, [&] { ++fired; });
+    ASSERT_TRUE(q.cancel(a));
+    // executeNext (without an intervening nextTick) must skip the dead
+    // key and run the live event.
+    EXPECT_EQ(q.executeNext(), Tick{2});
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, GenerationSurvivesManyReuses)
+{
+    EventQueue q;
+    // Recycle the same slot repeatedly; each round's stale handle must
+    // stay stale even as the generation counter climbs.
+    EventQueue::EventId prev = 0;
+    for (int i = 0; i < 100; ++i) {
+        const auto id = q.schedule(static_cast<Tick>(i), [] {});
+        if (i > 0)
+            EXPECT_FALSE(q.cancel(prev)) << "round " << i;
+        q.executeNext();
+        prev = id;
+    }
+}

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Golden-master regression test: one fixed-seed 4x4-mesh run with the
+ * history-DVS policy (plus a matched no-DVS reference point) pinned to
+ * exact RunResults values.
+ *
+ * The simulator is seed-deterministic by design — same spec + seed must
+ * reproduce bit-identical packet counts and (up to shortest-double
+ * round-trip) identical derived metrics on any thread count.  Any
+ * behavioral change to routing, flow control, the DVS protocol, the
+ * power ledger or the workload model shows up here as a diff against
+ * the pinned numbers; intentional changes must update the pins (and say
+ * so in the commit).
+ *
+ * The pinned values were captured from the run itself (see the spec
+ * below); tolerances are 1e-9 relative, far tighter than any
+ * legitimate nondeterminism and far looser than double round-trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include "exp/experiment.hpp"
+#include "network/network.hpp"
+#include "network/sweep.hpp"
+#include "traffic/task_model.hpp"
+
+using dvsnet::network::ExperimentSpec;
+using dvsnet::network::Network;
+using dvsnet::network::PolicyKind;
+using dvsnet::network::RunResults;
+
+namespace
+{
+
+constexpr std::uint64_t kGoldenSeed = 424242;
+
+/** The golden configuration: small enough to run in ~a second. */
+ExperimentSpec
+goldenSpec(PolicyKind policy)
+{
+    ExperimentSpec spec;
+    spec.network.radix = 4;  // 4x4 mesh
+    spec.network.policy = policy;
+    spec.workload.avgConcurrentTasks = 6.0;
+    spec.workload.sourcesPerTask = 16;
+    spec.workload.meanTaskDurationCycles = 1e5;
+    spec.workload.seed = kGoldenSeed;
+    spec.warmup = 8000;
+    spec.measure = 12000;
+    return spec;
+}
+
+constexpr double kInjectionRate = 0.2;
+constexpr double kRelTol = 1e-9;
+
+void
+expectNearRel(double actual, double expected, const char *what)
+{
+    EXPECT_NEAR(actual, expected,
+                kRelTol * std::max(1.0, std::abs(expected)))
+        << what;
+}
+
+} // namespace
+
+TEST(GoldenRun, HistoryDvs4x4MeshPinnedResults)
+{
+    const RunResults r = dvsnet::exp::runPoint(goldenSpec(PolicyKind::History),
+                                               kInjectionRate, kGoldenSeed);
+
+    // Exact integer pins: any change in packet behavior trips these.
+    EXPECT_EQ(r.measuredCycles, 12000u);
+    EXPECT_EQ(r.packetsCreated, 3851u);
+    EXPECT_EQ(r.packetsDelivered, 3839u);
+    EXPECT_EQ(r.flitsEjected, 19279u);
+
+    // Derived metrics, pinned to 1e-9 relative.
+    expectNearRel(r.offeredLoadPktsPerCycle, 0.32091666666666668,
+                  "offered load");
+    expectNearRel(r.throughputPktsPerCycle, 0.32133333333333336,
+                  "throughput pkts");
+    expectNearRel(r.throughputFlitsPerCycle, 1.6065833333333333,
+                  "throughput flits");
+    expectNearRel(r.avgLatencyCycles, 83.753739255014395, "avg latency");
+    expectNearRel(r.maxLatencyCycles, 582.985, "max latency");
+    expectNearRel(r.normalizedPower, 0.62777218491412523,
+                  "normalized power");
+    expectNearRel(r.savingsFactor, 1.592934545414421, "savings factor");
+    expectNearRel(r.avgChannelLevel, 1.7916666666666667,
+                  "avg channel level");
+
+    // The invariants must actually have run, and cleanly.
+    EXPECT_GT(r.invariantChecks, 0u);
+    EXPECT_EQ(r.invariantFailures, 0u);
+}
+
+TEST(GoldenRun, NoDvs4x4MeshPinnedReferencePoint)
+{
+    const RunResults r = dvsnet::exp::runPoint(goldenSpec(PolicyKind::None),
+                                               kInjectionRate, kGoldenSeed);
+
+    EXPECT_EQ(r.measuredCycles, 12000u);
+    EXPECT_EQ(r.packetsCreated, 3851u);
+    EXPECT_EQ(r.packetsDelivered, 3840u);
+    EXPECT_EQ(r.flitsEjected, 19273u);
+    expectNearRel(r.avgLatencyCycles, 52.249997656249931, "avg latency");
+    // No DVS: links pinned at the fastest level, no savings.
+    expectNearRel(r.normalizedPower, 1.0, "normalized power");
+    expectNearRel(r.avgChannelLevel, 0.0, "avg channel level");
+    EXPECT_EQ(r.transitionEnergyJ, 0.0);
+    EXPECT_GT(r.invariantChecks, 0u);
+    EXPECT_EQ(r.invariantFailures, 0u);
+}
+
+TEST(GoldenRun, NamedInvariantsAllExercised)
+{
+    // Run the same golden network directly so the registry is visible:
+    // each of the simulator's named invariants must have been checked.
+    const ExperimentSpec spec = goldenSpec(PolicyKind::History);
+    Network net(spec.network);
+    dvsnet::traffic::TwoLevelParams wl = spec.workload;
+    wl.networkInjectionRate = kInjectionRate;
+    dvsnet::traffic::TwoLevelWorkload workload(net.topology(), wl);
+    net.attachTraffic(workload);
+    net.run(spec.warmup, spec.measure);
+
+    for (const char *name :
+         {"network.credit_conservation", "metrics.packet_accounting",
+          "power.ledger_agreement", "dvs.transition_sequencing"}) {
+        const dvsnet::SimAssert *inv =
+            net.observability().findInvariant(name);
+        ASSERT_NE(inv, nullptr) << name;
+        EXPECT_GT(inv->checks(), 0u) << name;
+        EXPECT_EQ(inv->failures(), 0u) << name;
+    }
+}

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Tests for the minimal JSON writer/parser backing the run artifacts:
+ * round-trip exactness, escaping, error positions, and the structural
+ * properties (insertion order, type panics) other layers rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "common/fatal.hpp"
+#include "common/json.hpp"
+
+using dvsnet::ConfigError;
+using dvsnet::Json;
+
+TEST(Json, ScalarsDump)
+{
+    EXPECT_EQ(Json().dump(), "null");
+    EXPECT_EQ(Json(nullptr).dump(), "null");
+    EXPECT_EQ(Json(true).dump(), "true");
+    EXPECT_EQ(Json(false).dump(), "false");
+    EXPECT_EQ(Json(0).dump(), "0");
+    EXPECT_EQ(Json(std::int64_t{-42}).dump(), "-42");
+    EXPECT_EQ(Json(std::uint64_t{7}).dump(), "7");
+    EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+    EXPECT_EQ(Json(std::string("s")).dump(), "\"s\"");
+}
+
+TEST(Json, DoublesAlwaysLookLikeDoubles)
+{
+    // A double that happens to be integral must keep a marker (".0")
+    // so round-tripping preserves its type.
+    EXPECT_EQ(Json(1.0).dump(), "1.0");
+    EXPECT_EQ(Json(-3.0).dump(), "-3.0");
+    EXPECT_EQ(Json(0.5).dump(), "0.5");
+    const Json back = Json::parse(Json(1.0).dump());
+    EXPECT_EQ(back.type(), Json::Type::Double);
+}
+
+TEST(Json, DoubleRoundTripIsExact)
+{
+    for (double v : {0.1, 1.0 / 3.0, 6.02214076e23, 1e-300, -2.5e-17,
+                     123456789.123456789}) {
+        const Json parsed = Json::parse(Json(v).dump());
+        EXPECT_EQ(parsed.asDouble(), v) << "value " << v;
+    }
+}
+
+TEST(Json, NonFiniteDoublesSerializeAsNull)
+{
+    EXPECT_EQ(Json(std::numeric_limits<double>::quiet_NaN()).dump(),
+              "null");
+    EXPECT_EQ(Json(std::numeric_limits<double>::infinity()).dump(),
+              "null");
+}
+
+TEST(Json, StringEscaping)
+{
+    EXPECT_EQ(Json("a\"b").dump(), "\"a\\\"b\"");
+    EXPECT_EQ(Json("a\\b").dump(), "\"a\\\\b\"");
+    EXPECT_EQ(Json("a\nb\tc").dump(), "\"a\\nb\\tc\"");
+    EXPECT_EQ(Json(std::string("\x01")).dump(), "\"\\u0001\"");
+    // Full escape round-trip.
+    const std::string nasty = "quote\" back\\ nl\n tab\t ctl\x02 end";
+    EXPECT_EQ(Json::parse(Json(nasty).dump()).asString(), nasty);
+}
+
+TEST(Json, ObjectsPreserveInsertionOrder)
+{
+    Json j = Json::object();
+    j["zebra"] = Json(1);
+    j["alpha"] = Json(2);
+    j["mid"] = Json(3);
+    EXPECT_EQ(j.dump(), "{\"zebra\":1,\"alpha\":2,\"mid\":3}");
+    ASSERT_EQ(j.items().size(), 3u);
+    EXPECT_EQ(j.items()[0].first, "zebra");
+    EXPECT_EQ(j.items()[2].first, "mid");
+}
+
+TEST(Json, OperatorBracketInsertsAndOverwrites)
+{
+    Json j;  // null converts to object on first subscript
+    j["k"] = Json(1);
+    EXPECT_TRUE(j.isObject());
+    j["k"] = Json(2);
+    EXPECT_EQ(j.find("k")->asInt(), 2);
+    EXPECT_EQ(j.size(), 1u);
+    EXPECT_EQ(j.find("missing"), nullptr);
+}
+
+TEST(Json, ArraysPushAndAt)
+{
+    Json a;  // null converts to array on first push
+    a.push(Json(1));
+    a.push(Json("two"));
+    EXPECT_TRUE(a.isArray());
+    ASSERT_EQ(a.size(), 2u);
+    EXPECT_EQ(a.at(0).asInt(), 1);
+    EXPECT_EQ(a.at(1).asString(), "two");
+}
+
+TEST(Json, PrettyPrint)
+{
+    Json j = Json::object();
+    j["a"] = Json(1);
+    Json arr = Json::array();
+    arr.push(Json(2));
+    j["b"] = std::move(arr);
+    EXPECT_EQ(j.dump(2), "{\n  \"a\": 1,\n  \"b\": [\n    2\n  ]\n}");
+    EXPECT_EQ(Json::object().dump(2), "{}");
+    EXPECT_EQ(Json::array().dump(2), "[]");
+}
+
+TEST(Json, ParseScalars)
+{
+    EXPECT_TRUE(Json::parse("null").isNull());
+    EXPECT_EQ(Json::parse("true").asBool(), true);
+    EXPECT_EQ(Json::parse("-17").asInt(), -17);
+    EXPECT_EQ(Json::parse("-17").type(), Json::Type::Int);
+    EXPECT_EQ(Json::parse("2.5e3").asDouble(), 2500.0);
+    EXPECT_EQ(Json::parse("  \"x\"  ").asString(), "x");
+}
+
+TEST(Json, ParseIntBeyondDoublePrecisionStaysExact)
+{
+    // 2^63 - 1 is not representable as a double; the parser must keep
+    // it as an Int.
+    const Json j = Json::parse("9223372036854775807");
+    EXPECT_EQ(j.type(), Json::Type::Int);
+    EXPECT_EQ(j.asInt(), std::numeric_limits<std::int64_t>::max());
+}
+
+TEST(Json, ParseNested)
+{
+    const Json j = Json::parse(
+        R"({"results":[{"ok":true,"rate":0.5},{"ok":false}],"n":2})");
+    ASSERT_TRUE(j.isObject());
+    const Json *results = j.find("results");
+    ASSERT_NE(results, nullptr);
+    ASSERT_EQ(results->size(), 2u);
+    EXPECT_TRUE(results->at(0).find("ok")->asBool());
+    EXPECT_EQ(results->at(0).find("rate")->asDouble(), 0.5);
+    EXPECT_EQ(j.find("n")->asInt(), 2);
+}
+
+TEST(Json, ParseUnicodeEscapes)
+{
+    // \u00e9 = é (2-byte UTF-8), \u20ac = € (3-byte UTF-8).
+    EXPECT_EQ(Json::parse(R"("\u00e9")").asString(), "\xc3\xa9");
+    EXPECT_EQ(Json::parse(R"("\u20ac")").asString(), "\xe2\x82\xac");
+}
+
+TEST(Json, ParseErrorsThrowConfigError)
+{
+    EXPECT_THROW(Json::parse(""), ConfigError);
+    EXPECT_THROW(Json::parse("{"), ConfigError);
+    EXPECT_THROW(Json::parse("[1,]"), ConfigError);
+    EXPECT_THROW(Json::parse("{\"a\":1,}"), ConfigError);
+    EXPECT_THROW(Json::parse("\"unterminated"), ConfigError);
+    EXPECT_THROW(Json::parse("tru"), ConfigError);
+    EXPECT_THROW(Json::parse("1 2"), ConfigError);   // trailing content
+    EXPECT_THROW(Json::parse("{'a':1}"), ConfigError);
+    EXPECT_THROW(Json::parse("\"\x01\""), ConfigError);  // raw control
+}
+
+TEST(Json, ParseDepthIsBounded)
+{
+    std::string deep(400, '[');
+    deep += std::string(400, ']');
+    EXPECT_THROW(Json::parse(deep), ConfigError);
+}
+
+TEST(Json, RoundTripComplexDocument)
+{
+    Json j = Json::object();
+    j["schema"] = Json("dvsnet-bench-v1");
+    j["seed"] = Json("18446744073709551615");  // uint64 max as string
+    j["wall_seconds"] = Json(1.25);
+    Json pts = Json::array();
+    for (int i = 0; i < 3; ++i) {
+        Json p = Json::object();
+        p["rate"] = Json(0.2 * i);
+        p["ok"] = Json(i != 1);
+        pts.push(std::move(p));
+    }
+    j["points"] = std::move(pts);
+
+    for (int indent : {-1, 0, 2, 4}) {
+        const Json back = Json::parse(j.dump(indent));
+        EXPECT_EQ(back.dump(), j.dump()) << "indent " << indent;
+    }
+}
