@@ -15,11 +15,20 @@
  *       deliberately ignored, so CI can diff a fresh quick run against
  *       the committed full-fidelity BENCH_micro.json.
  *
+ *   bench_json_check <artifact.json> --perf-baseline <baseline.json>
+ *                    [--max-regression <fraction>]
+ *       Relative perf guard: every named result in the baseline must
+ *       appear in the artifact, and every throughput metric present in
+ *       both (events_per_sec, cycles_per_sec, flits_per_sec) must be no
+ *       more than <fraction> (default 0.30) below the baseline value.
+ *       Speedups and new artifact-only results never fail the guard.
+ *
  * Exit status 0 on success; 1 with a diagnostic on stderr otherwise.
  * Used by the ctest bench smoke tests and the CI bench-baseline job.
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -122,6 +131,79 @@ require(const Json &root, const char *key, const char *kind)
     return *v;
 }
 
+/** Throughput metrics the perf guard compares (bigger is better). */
+constexpr const char *kThroughputMetrics[] = {
+    "events_per_sec", "cycles_per_sec", "flits_per_sec"};
+
+/** Find a result object by its "name" in a results array, or null. */
+const Json *
+findResultByName(const Json &results, const std::string &name)
+{
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const Json &r = results.at(i);
+        if (!r.isObject())
+            continue;
+        const Json *n = r.find("name");
+        if (n && n->isString() && n->asString() == name)
+            return &r;
+    }
+    return nullptr;
+}
+
+/**
+ * Relative perf guard (see file comment).  Results are matched by
+ * "name"; metrics present only on one side are skipped, but a baseline
+ * result entirely missing from the artifact is an error — a renamed or
+ * dropped bench must be an explicit baseline update, not a silent pass.
+ */
+void
+comparePerf(const Json &artifact, const Json &baseline,
+            double maxRegression)
+{
+    const Json &got = *artifact.find("results");
+    const Json &want = *baseline.find("results");
+    std::size_t compared = 0;
+    for (std::size_t i = 0; i < want.size(); ++i) {
+        const Json &ref = want.at(i);
+        const Json *name = ref.isObject() ? ref.find("name") : nullptr;
+        if (!name || !name->isString())
+            continue;
+        const Json *cur = findResultByName(got, name->asString());
+        if (!cur) {
+            fail("perf baseline result '" + name->asString() +
+                 "' is missing from the artifact");
+        }
+        for (const char *metric : kThroughputMetrics) {
+            const Json *refV = ref.find(metric);
+            const Json *curV = cur->find(metric);
+            if (!refV || !curV || !refV->isNumber() || !curV->isNumber())
+                continue;
+            const double refD = refV->asDouble();
+            const double curD = curV->asDouble();
+            if (refD <= 0.0)
+                continue;
+            const double floor = refD * (1.0 - maxRegression);
+            if (curD < floor) {
+                char msg[256];
+                std::snprintf(
+                    msg, sizeof msg,
+                    "perf regression: %s.%s = %.4g is %.1f%% below "
+                    "baseline %.4g (allowed: %.0f%%)",
+                    name->asString().c_str(), metric, curD,
+                    (1.0 - curD / refD) * 100.0, refD,
+                    maxRegression * 100.0);
+                fail(msg);
+            }
+            ++compared;
+        }
+    }
+    if (compared == 0)
+        fail("perf baseline has no comparable throughput metrics");
+    std::printf("perf guard: %zu throughput metric(s) within %.0f%% of "
+                "baseline\n",
+                compared, maxRegression * 100.0);
+}
+
 void
 validate(const Json &root)
 {
@@ -150,11 +232,23 @@ main(int argc, char **argv)
 {
     std::string artifactPath;
     std::string baselinePath;
+    std::string perfBaselinePath;
+    double maxRegression = 0.30;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--schema") == 0) {
             if (i + 1 >= argc)
                 fail("--schema expects a baseline path");
             baselinePath = argv[++i];
+        } else if (std::strcmp(argv[i], "--perf-baseline") == 0) {
+            if (i + 1 >= argc)
+                fail("--perf-baseline expects a baseline path");
+            perfBaselinePath = argv[++i];
+        } else if (std::strcmp(argv[i], "--max-regression") == 0) {
+            if (i + 1 >= argc)
+                fail("--max-regression expects a fraction in (0, 1)");
+            maxRegression = std::strtod(argv[++i], nullptr);
+            if (!(maxRegression > 0.0 && maxRegression < 1.0))
+                fail("--max-regression must be a fraction in (0, 1)");
         } else if (artifactPath.empty()) {
             artifactPath = argv[i];
         } else {
@@ -163,7 +257,9 @@ main(int argc, char **argv)
     }
     if (artifactPath.empty())
         fail("usage: bench_json_check <artifact.json> "
-             "[--schema <baseline.json>]");
+             "[--schema <baseline.json>] "
+             "[--perf-baseline <baseline.json> "
+             "[--max-regression <fraction>]]");
 
     const Json artifact = load(artifactPath);
     validate(artifact);
@@ -174,7 +270,15 @@ main(int argc, char **argv)
         compareStructure(artifact, baseline, "$");
         std::printf("OK: %s matches the structure of %s\n",
                     artifactPath.c_str(), baselinePath.c_str());
-    } else {
+    }
+    if (!perfBaselinePath.empty()) {
+        const Json baseline = load(perfBaselinePath);
+        validate(baseline);
+        comparePerf(artifact, baseline, maxRegression);
+        std::printf("OK: %s meets the perf baseline %s\n",
+                    artifactPath.c_str(), perfBaselinePath.c_str());
+    }
+    if (baselinePath.empty() && perfBaselinePath.empty()) {
         std::printf("OK: %s is a valid dvsnet-bench-v1 artifact\n",
                     artifactPath.c_str());
     }

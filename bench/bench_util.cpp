@@ -310,8 +310,8 @@ runDvsComparison(const BenchOptions &opts, double taskCount,
     // All four series — both zero-load probes and both matched sweeps —
     // share one worker pool, so the whole figure parallelizes across
     // every available thread.  Seeds match the serial drivers: the
-    // zero-load probes use the base seed (as runOnePoint does), sweep
-    // point i uses pointSeed(baseSeed, i).
+    // zero-load probes use the base seed (as measureZeroLoadLatency
+    // does), sweep point i uses pointSeed(baseSeed, i).
     exp::ExperimentRunner runner(runnerOptions(opts));
     const double zeroLoadRate = 0.05;  // as measureZeroLoadLatency
     for (const auto *spec : {&baseSpec, &dvsSpec}) {

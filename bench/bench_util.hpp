@@ -92,9 +92,9 @@ runSweep(const BenchOptions &opts, const network::ExperimentSpec &spec,
          const std::vector<double> &rates);
 
 /**
- * Run one point per spec (`specs[i]` at `rates[i]`, seeded from its own
- * `workload.seed` — equivalent to runOnePoint on each, but parallel).
- * Fatal on failure.
+ * Run one point per spec (`specs[i]` at `rates[i]`, seeded from its
+ * own `workload.seed` — equivalent to exp::runPoint on each, but
+ * parallel).  Fatal on failure.
  */
 std::vector<network::RunResults>
 runPoints(const BenchOptions &opts,

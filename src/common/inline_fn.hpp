@@ -1,0 +1,107 @@
+/**
+ * @file
+ * InlineFn: a move-only `void()` callable with fixed inline storage.
+ *
+ * Replaces `std::function<void()>` on the simulator's hot paths.  The
+ * callable is stored in a two-word inline buffer — large enough for a
+ * `this` pointer plus one word of packed arguments — and never touches
+ * the heap.  Captures that exceed the buffer fail to compile
+ * (static_assert) instead of silently falling back to allocation, so
+ * event-scheduling cost stays predictable.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace dvsnet
+{
+
+/** Heap-free `void()` callable; capacity is two machine words. */
+class InlineFn
+{
+  public:
+    static constexpr std::size_t kCapacity = 2 * sizeof(void *);
+
+    InlineFn() noexcept = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineFn>>>
+    InlineFn(F &&fn) noexcept  // NOLINT(google-explicit-constructor)
+    {
+        using Fn = std::decay_t<F>;
+        static_assert(sizeof(Fn) <= kCapacity,
+                      "capture too large for InlineFn: pack state into "
+                      "at most two words (e.g. this + one packed word)");
+        static_assert(alignof(Fn) <= alignof(void *),
+                      "over-aligned captures are not supported");
+        static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                      "InlineFn requires nothrow-movable captures");
+        ::new (static_cast<void *>(buf_)) Fn(std::forward<F>(fn));
+        invoke_ = [](void *p) { (*static_cast<Fn *>(p))(); };
+        relocate_ = [](void *src, void *dst) noexcept {
+            auto *f = static_cast<Fn *>(src);
+            if (dst != nullptr)
+                ::new (dst) Fn(std::move(*f));
+            f->~Fn();
+        };
+    }
+
+    InlineFn(InlineFn &&o) noexcept { moveFrom(o); }
+
+    InlineFn &operator=(InlineFn &&o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            moveFrom(o);
+        }
+        return *this;
+    }
+
+    InlineFn(const InlineFn &) = delete;
+    InlineFn &operator=(const InlineFn &) = delete;
+
+    ~InlineFn() { reset(); }
+
+    /** Drop the stored callable (if any); leaves *this empty. */
+    void reset() noexcept
+    {
+        if (relocate_ != nullptr) {
+            relocate_(buf_, nullptr);
+            invoke_ = nullptr;
+            relocate_ = nullptr;
+        }
+    }
+
+    /** True if a callable is stored. */
+    explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+    /** Invoke the stored callable. Precondition: non-empty. */
+    void operator()() { invoke_(buf_); }
+
+  private:
+    using Invoke = void (*)(void *);
+    /** Move-construct into dst (or just destroy when dst == nullptr). */
+    using Relocate = void (*)(void *src, void *dst) noexcept;
+
+    void moveFrom(InlineFn &o) noexcept
+    {
+        if (o.relocate_ != nullptr) {
+            o.relocate_(o.buf_, buf_);
+            invoke_ = o.invoke_;
+            relocate_ = o.relocate_;
+            o.invoke_ = nullptr;
+            o.relocate_ = nullptr;
+        }
+    }
+
+    alignas(void *) unsigned char buf_[kCapacity];
+    Invoke invoke_ = nullptr;
+    Relocate relocate_ = nullptr;
+};
+
+} // namespace dvsnet

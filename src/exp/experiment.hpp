@@ -90,8 +90,8 @@ struct RunnerOptions
 
 /**
  * Execute one measurement point with an explicit workload seed — the
- * primitive every runner worker (and the legacy runOnePoint wrapper)
- * calls.  Throws ConfigError on an invalid spec or rate.
+ * primitive every runner worker calls.  Throws ConfigError on an
+ * invalid spec or rate.
  */
 network::RunResults runPoint(const network::ExperimentSpec &spec,
                              double injectionRate, std::uint64_t seed);

@@ -72,8 +72,7 @@ class ExperimentRunner
     /**
      * One-shot sweep: submit + collect + unwrap to SweepPoints.
      * Throws ConfigError carrying the first failed point's message if
-     * any point failed.  The legacy network::sweepInjection forwards
-     * here.
+     * any point failed.
      */
     static std::vector<network::SweepPoint>
     sweep(const network::ExperimentSpec &spec,

@@ -197,6 +197,10 @@ DvsChannel::beginFreqLock(Tick now)
                               "lock completion in state ",
                               static_cast<int>(state_));
         }
+        // The link is functional again (either stable or ramping down):
+        // wake anything that idled behind the disabled link.
+        if (reenableHook_)
+            reenableHook_();
         if (wasSpeedup) {
             // Voltage already settled; the transition is complete.
             state_ = State::Stable;

@@ -109,6 +109,14 @@ class DvsChannel final : public router::FlitChannel,
     /** Attach the upstream router's credit inbox (for the reverse flow). */
     void connectCreditSink(router::Inbox<VcId> *sink);
 
+    /**
+     * Install a hook invoked when a frequency lock ends and the link
+     * becomes functional again.  The network uses this to wake the
+     * sending router out of the idle-skip set so flits (and stalled
+     * credits) stalled behind the disabled link resume promptly.
+     */
+    void setReenableHook(InlineFn hook) { reenableHook_ = std::move(hook); }
+
     // FlitChannel
     bool canAccept(Tick earliest) const override;
     Tick send(const router::Flit &flit, Tick earliest) override;
@@ -168,6 +176,7 @@ class DvsChannel final : public router::FlitChannel,
 
     router::Inbox<router::Flit> *flitSink_ = nullptr;
     router::Inbox<VcId> *creditSink_ = nullptr;
+    InlineFn reenableHook_;  ///< fired at frequency-lock end (see setter)
 
     // Cached observability slots (null when no registry is attached).
     std::uint64_t *ctrStepsStarted_ = nullptr;

@@ -199,6 +199,25 @@ Network::build()
             ch.dstPort, channels_[static_cast<std::size_t>(rev)].get());
     }
 
+    // Activity gating: any push into a router's inboxes (link flit,
+    // credit return, or terminal injection) wakes it into the step set;
+    // a DVS frequency-lock end likewise re-enables the sending router.
+    ctrCycles_ = &registry_.counter("network.cycles");
+    ctrRouterSteps_ = &registry_.counter("network.router_steps");
+    ctrRouterWakes_ = &registry_.counter("network.router_wakes");
+    routerActive_.assign(static_cast<std::size_t>(topo_.numNodes()), 0);
+    sourceActive_.assign(static_cast<std::size_t>(topo_.numNodes()), 0);
+    for (NodeId n = 0; n < topo_.numNodes(); ++n) {
+        // The router owns the per-inbox hooks (they feed its pending
+        // masks) and chains the network-level wake through this one.
+        routers_[static_cast<std::size_t>(n)]->setWakeHook(
+            [this, n] { wakeRouter(n); });
+    }
+    for (const auto &ch : topo_.channels()) {
+        channels_[static_cast<std::size_t>(ch.id)]->setReenableHook(
+            [this, src = ch.src] { wakeRouter(src); });
+    }
+
     // DVS controllers, one per channel (Fig. 6: at each output port).
     controllers_.resize(channels_.size());
     if (config_.policy != PolicyKind::None) {
@@ -264,7 +283,29 @@ Network::injectPacket(NodeId src, NodeId dst)
     auto &state = sources_[static_cast<std::size_t>(src)];
     state.queue.push_back(desc);
     ++state.created;
+    markSourceActive(src);
     metrics_.onPacketCreated(desc);
+}
+
+void
+Network::wakeRouter(NodeId node)
+{
+    auto &flag = routerActive_[static_cast<std::size_t>(node)];
+    if (flag == 0) {
+        flag = 1;
+        wokenRouters_.push_back(node);
+        ++*ctrRouterWakes_;
+    }
+}
+
+void
+Network::markSourceActive(NodeId node)
+{
+    auto &flag = sourceActive_[static_cast<std::size_t>(node)];
+    if (flag == 0) {
+        flag = 1;
+        activeSources_.push_back(node);
+    }
 }
 
 void
@@ -289,10 +330,51 @@ void
 Network::stepCycle()
 {
     const Tick now = kernel_.now();
-    for (NodeId n = 0; n < topo_.numNodes(); ++n)
-        injectFromQueue(n);
-    for (auto &r : routers_)
-        r->step(now);
+    ++*ctrCycles_;
+
+    // Injection scan: only sources with queued packets, in ascending
+    // node order (the full 0..N-1 scan this replaces, restricted to
+    // non-empty queues).  Injection pushes wake the terminal router
+    // into wokenRouters_ before the router pass merges it below.
+    if (!activeSources_.empty()) {
+        std::sort(activeSources_.begin(), activeSources_.end());
+        std::size_t kept = 0;
+        for (const NodeId n : activeSources_) {
+            injectFromQueue(n);
+            if (!sources_[static_cast<std::size_t>(n)].queue.empty())
+                activeSources_[kept++] = n;
+            else
+                sourceActive_[static_cast<std::size_t>(n)] = 0;
+        }
+        activeSources_.resize(kept);
+    }
+
+    // Router cores: step the active set in ascending id order — the
+    // original full scan restricted to routers with work, so metric
+    // accumulation order is unchanged.  Stepping an idle router is a
+    // no-op (drains nothing, allocates nothing), so skipping it cannot
+    // perturb simulated results.  Wakes raised while stepping (a
+    // delivery or credit into a router not in this cycle's snapshot)
+    // land in wokenRouters_ and join at the next edge; such deliveries
+    // arrive strictly after `now`, so next-edge processing is exact.
+    if (!wokenRouters_.empty()) {
+        activeRouters_.insert(activeRouters_.end(), wokenRouters_.begin(),
+                              wokenRouters_.end());
+        wokenRouters_.clear();
+        std::sort(activeRouters_.begin(), activeRouters_.end());
+    }
+    const std::size_t count = activeRouters_.size();
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < count; ++i) {
+        const NodeId n = activeRouters_[i];
+        if (routers_[static_cast<std::size_t>(n)]->step(now))
+            activeRouters_[kept++] = n;
+        else
+            routerActive_[static_cast<std::size_t>(n)] = 0;
+    }
+    activeRouters_.resize(kept);
+    *ctrRouterSteps_ += count;
+
     kernel_.at(now + kRouterClockPeriod, [this] { stepCycle(); });
 }
 

@@ -159,6 +159,20 @@ class Network
     Cycle currentCycle() const { return ticksToCycles(kernel_.now()); }
 
     /**
+     * Routers currently in the activity-gated step set (including wakes
+     * that join at the next clock edge).  Idle routers are skipped by
+     * stepCycle() and woken by inbox delivery, credit return, injection,
+     * or a DVS link re-enable — see DESIGN.md "Simulation core".
+     */
+    std::size_t activeRouterCount() const
+    {
+        return activeRouters_.size() + wokenRouters_.size();
+    }
+
+    /** Sources with queued packets (the per-cycle injection scan). */
+    std::size_t activeSourceCount() const { return activeSources_.size(); }
+
+    /**
      * Verify credit conservation on every channel: upstream credits +
      * downstream buffer occupancy + flits and credits in flight equal
      * the downstream buffer capacity.  Panics on violation; used by the
@@ -200,6 +214,12 @@ class Network
     Tick routerClockEdgeAfterNow() const;
     void stepCycle();
     void injectFromQueue(NodeId node);
+
+    /** Add a router to the step set (no-op if already active). */
+    void wakeRouter(NodeId node);
+
+    /** Add a source to the injection scan (no-op if already active). */
+    void markSourceActive(NodeId node);
     void onFlitEjected(const router::Flit &flit, Tick arrival);
     std::unique_ptr<core::DvsPolicy> makePolicy() const;
 
@@ -219,6 +239,21 @@ class Network
     /** Mutable: invariant checks from const paths (collect()) count
      *  their executions here. */
     mutable CounterRegistry registry_;
+
+    // --- activity gating (see stepCycle) ---
+    // Invariant: a router with buffered flits or pending inbox items is
+    // in exactly one of activeRouters_/wokenRouters_ (flag == 1); all
+    // other routers are provably no-op to step and are skipped.
+    std::vector<NodeId> activeRouters_;  ///< stepped each cycle (sorted)
+    std::vector<NodeId> wokenRouters_;   ///< joins the set next edge
+    std::vector<NodeId> activeSources_;  ///< sources with queued packets
+    std::vector<std::uint8_t> routerActive_;  ///< per-node membership flag
+    std::vector<std::uint8_t> sourceActive_;  ///< per-node membership flag
+
+    // Cached observability counters (registered in build()).
+    std::uint64_t *ctrCycles_ = nullptr;
+    std::uint64_t *ctrRouterSteps_ = nullptr;
+    std::uint64_t *ctrRouterWakes_ = nullptr;
 
     router::PacketId nextPacketId_ = 1;
     bool stepping_ = false;

@@ -86,18 +86,6 @@ ExperimentSpec::validate() const
     return problems;
 }
 
-RunResults
-runOnePoint(const ExperimentSpec &spec, double injectionRate)
-{
-    return exp::runPoint(spec, injectionRate, spec.workload.seed);
-}
-
-std::vector<SweepPoint>
-sweepInjection(const ExperimentSpec &spec, const std::vector<double> &rates)
-{
-    return exp::ExperimentRunner::sweep(spec, rates);
-}
-
 std::vector<double>
 rateGrid(double lo, double hi, std::size_t n)
 {
@@ -115,7 +103,7 @@ measureZeroLoadLatency(const ExperimentSpec &spec)
 {
     // Low enough that queueing is negligible, high enough that the
     // window still sees a few hundred packets.
-    const RunResults res = runOnePoint(spec, 0.05);
+    const RunResults res = exp::runPoint(spec, 0.05, spec.workload.seed);
     DVSNET_ASSERT(res.packetsDelivered > 0,
                   "zero-load run delivered nothing");
     return res.avgLatencyCycles;

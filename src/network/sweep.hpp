@@ -9,9 +9,9 @@
  *
  * Execution lives in `exp/runner.hpp`: the multi-threaded
  * ExperimentRunner runs PointJobs (spec + rate + derived seed) on a
- * worker pool with deterministic, submission-ordered results.  The free
- * functions `runOnePoint` / `sweepInjection` below are retained as thin
- * forwarding wrappers for existing callers and are deprecated.
+ * worker pool with deterministic, submission-ordered results.  Use
+ * exp::runPoint for a single point and exp::ExperimentRunner::sweep for
+ * a series.
  */
 
 #pragma once
@@ -55,25 +55,6 @@ Json toJson(const ExperimentSpec &spec);
 
 /** {"injection_rate": r, "results": {...}} */
 Json toJson(const SweepPoint &point);
-
-/**
- * Run a single point at the given network-wide injection rate, seeded
- * with `spec.workload.seed`.
- * @deprecated Thin wrapper over exp::runPoint; new code should use the
- * ExperimentRunner (exp/runner.hpp) and seed points explicitly.
- */
-RunResults runOnePoint(const ExperimentSpec &spec, double injectionRate);
-
-/**
- * Run every rate in `rates` (each on a fresh network), in parallel on
- * the default worker pool.  Point `i` is seeded
- * exp::pointSeed(spec.workload.seed, i), so the series is reproducible
- * from the base seed alone and identical for any thread count.
- * @deprecated Thin wrapper over exp::ExperimentRunner::sweep; new code
- * should use the runner directly for progress/timing/failure capture.
- */
-std::vector<SweepPoint> sweepInjection(const ExperimentSpec &spec,
-                                       const std::vector<double> &rates);
 
 /** Evenly spaced rate grid [lo, hi] with n points. */
 std::vector<double> rateGrid(double lo, double hi, std::size_t n);

@@ -1,5 +1,7 @@
 #include "router/allocator.hpp"
 
+#include <bit>
+
 #include "common/fatal.hpp"
 
 namespace dvsnet::router
@@ -12,28 +14,99 @@ SeparableVcAllocator::SeparableVcAllocator(PortId numPorts,
 {
     DVSNET_ASSERT(numPorts > 0 && numVcs > 0 && numRequesters > 0,
                   "invalid VC allocator geometry");
+    DVSNET_ASSERT(numVcs <= 32, "vcMask is 32 bits wide");
     arbiters_.reserve(static_cast<std::size_t>(numPorts) *
                       static_cast<std::size_t>(numVcs));
     for (std::int32_t i = 0; i < numPorts * numVcs; ++i)
         arbiters_.emplace_back(numRequesters);
     reqMatrix_.assign(static_cast<std::size_t>(numRequesters), false);
+    freeMasks_.assign(static_cast<std::size_t>(numPorts), 0);
 }
 
-std::vector<VcGrant>
+const std::vector<VcGrant> &
 SeparableVcAllocator::allocate(
     const std::vector<VcRequest> &requests,
     const std::function<bool(PortId, VcId)> &vcFree)
 {
-    std::vector<VcGrant> grants;
-    if (requests.empty())
-        return grants;
+    // Predicate shim: materialize the free map once, then take the
+    // mask-based hot path.
+    for (PortId port = 0; port < numPorts_; ++port) {
+        std::uint32_t mask = 0;
+        for (VcId vc = 0; vc < numVcs_; ++vc) {
+            if (vcFree(port, vc))
+                mask |= 1u << vc;
+        }
+        freeMasks_[static_cast<std::size_t>(port)] = mask;
+    }
+    return allocate(requests, freeMasks_);
+}
 
+const std::vector<VcGrant> &
+SeparableVcAllocator::allocate(
+    const std::vector<VcRequest> &requests,
+    const std::vector<std::uint32_t> &freeVcMasks)
+{
+    DVSNET_ASSERT(freeVcMasks.size() ==
+                      static_cast<std::size_t>(numPorts_),
+                  "one free-VC mask per output port");
+    grants_.clear();
+    if (requests.empty())
+        return grants_;
+
+    if (numRequesters_ <= 64) {
+        // Fast path: requester sets fit one word.  Resource order
+        // (port asc, vc asc) and per-resource round-robin are identical
+        // to the wide path below.
+        std::uint64_t granted = 0;
+        for (PortId port = 0; port < numPorts_; ++port) {
+            // Union of VCs requested at this port — skips free
+            // resources nobody wants without scanning the requests.
+            std::uint32_t wanted = 0;
+            for (const auto &req : requests) {
+                if (req.outPort == port)
+                    wanted |= req.vcMask;
+            }
+            std::uint32_t effective =
+                wanted & freeVcMasks[static_cast<std::size_t>(port)];
+            while (effective != 0) {
+                const VcId vc = std::countr_zero(effective);
+                effective &= effective - 1;
+                std::uint64_t reqMask = 0;
+                for (const auto &req : requests) {
+                    DVSNET_ASSERT(req.requester >= 0 &&
+                                      req.requester < numRequesters_,
+                                  "requester index out of range");
+                    if (req.outPort == port &&
+                        (req.vcMask & (1u << vc)) != 0 &&
+                        (granted &
+                         (std::uint64_t{1} << req.requester)) == 0) {
+                        reqMask |= std::uint64_t{1} << req.requester;
+                    }
+                }
+                if (reqMask == 0)
+                    continue;
+                auto &arb =
+                    arbiters_[static_cast<std::size_t>(port) *
+                                  static_cast<std::size_t>(numVcs_) +
+                              static_cast<std::size_t>(vc)];
+                const std::int32_t winner = arb.arbitrateMask(reqMask);
+                if (winner >= 0) {
+                    grants_.push_back({winner, port, vc});
+                    granted |= std::uint64_t{1} << winner;
+                }
+            }
+        }
+        return grants_;
+    }
+
+    // Wide-geometry path (> 64 input VCs): same algorithm on
+    // vector<bool> scratch.
     std::vector<bool> requesterGranted(
         static_cast<std::size_t>(numRequesters_), false);
-
     for (PortId port = 0; port < numPorts_; ++port) {
         for (VcId vc = 0; vc < numVcs_; ++vc) {
-            if (!vcFree(port, vc))
+            if ((freeVcMasks[static_cast<std::size_t>(port)] &
+                 (1u << vc)) == 0)
                 continue;
 
             std::fill(reqMatrix_.begin(), reqMatrix_.end(), false);
@@ -59,12 +132,12 @@ SeparableVcAllocator::allocate(
                                   static_cast<std::size_t>(vc)];
             const std::int32_t winner = arb.arbitrate(reqMatrix_);
             if (winner >= 0) {
-                grants.push_back({winner, port, vc});
+                grants_.push_back({winner, port, vc});
                 requesterGranted[static_cast<std::size_t>(winner)] = true;
             }
         }
     }
-    return grants;
+    return grants_;
 }
 
 SeparableSwitchAllocator::SeparableSwitchAllocator(PortId numPorts,
@@ -73,80 +146,95 @@ SeparableSwitchAllocator::SeparableSwitchAllocator(PortId numPorts,
 {
     DVSNET_ASSERT(numPorts > 0 && numVcs > 0,
                   "invalid switch allocator geometry");
+    DVSNET_ASSERT(numPorts <= 64 && numVcs <= 32,
+                  "switch allocator uses bitmask arbitration");
     inputStage_.reserve(static_cast<std::size_t>(numPorts));
     outputStage_.reserve(static_cast<std::size_t>(numPorts));
     for (PortId p = 0; p < numPorts; ++p) {
         inputStage_.emplace_back(numVcs);
         outputStage_.emplace_back(numPorts);
     }
+    stageOne_.assign(static_cast<std::size_t>(numPorts), -1);
+    vcReqMasks_.assign(static_cast<std::size_t>(numPorts), 0);
+    firstReqIdx_.assign(static_cast<std::size_t>(numPorts) *
+                            static_cast<std::size_t>(numVcs),
+                        -1);
 }
 
-std::vector<SwitchGrant>
+const std::vector<SwitchGrant> &
 SeparableSwitchAllocator::allocate(
     const std::vector<SwitchRequest> &requests)
 {
-    std::vector<SwitchGrant> grants;
+    grants_.clear();
     if (requests.empty())
-        return grants;
+        return grants_;
+
+    // One pass over the requests builds, per input port, the bitmask of
+    // requesting VCs and the first request index per (port, vc) — the
+    // same winner the original inner scans would find.
+    std::fill(vcReqMasks_.begin(), vcReqMasks_.end(), 0u);
+    std::fill(firstReqIdx_.begin(), firstReqIdx_.end(), -1);
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        const auto &req = requests[i];
+        DVSNET_ASSERT(req.inVc >= 0 && req.inVc < numVcs_,
+                      "inVc out of range");
+        vcReqMasks_[static_cast<std::size_t>(req.inPort)] |=
+            1u << req.inVc;
+        auto &first = firstReqIdx_[static_cast<std::size_t>(req.inPort) *
+                                       static_cast<std::size_t>(numVcs_) +
+                                   static_cast<std::size_t>(req.inVc)];
+        if (first < 0)
+            first = static_cast<std::int32_t>(i);
+    }
 
     // Stage 1: each input port picks one of its requesting VCs.
     // stageOne_[p] = index into `requests` of port p's winner, or -1.
-    stageOne_.assign(static_cast<std::size_t>(numPorts_), -1);
-    auto &stageOne = stageOne_;
-    vcReqs_.assign(static_cast<std::size_t>(numVcs_), false);
-    auto &vcReqs = vcReqs_;
-
     for (PortId p = 0; p < numPorts_; ++p) {
-        std::fill(vcReqs.begin(), vcReqs.end(), false);
-        bool any = false;
-        for (const auto &req : requests) {
-            if (req.inPort == p) {
-                DVSNET_ASSERT(req.inVc >= 0 && req.inVc < numVcs_,
-                              "inVc out of range");
-                vcReqs[static_cast<std::size_t>(req.inVc)] = true;
-                any = true;
-            }
-        }
-        if (!any)
+        stageOne_[static_cast<std::size_t>(p)] = -1;
+        const std::uint32_t mask =
+            vcReqMasks_[static_cast<std::size_t>(p)];
+        if (mask == 0)
             continue;
         const std::int32_t vcWin =
-            inputStage_[static_cast<std::size_t>(p)].arbitrate(vcReqs);
+            inputStage_[static_cast<std::size_t>(p)].arbitrateMask(mask);
         if (vcWin < 0)
             continue;
-        for (std::size_t i = 0; i < requests.size(); ++i) {
-            if (requests[i].inPort == p && requests[i].inVc == vcWin) {
-                stageOne[static_cast<std::size_t>(p)] =
-                    static_cast<std::int32_t>(i);
-                break;
-            }
-        }
+        stageOne_[static_cast<std::size_t>(p)] =
+            firstReqIdx_[static_cast<std::size_t>(p) *
+                             static_cast<std::size_t>(numVcs_) +
+                         static_cast<std::size_t>(vcWin)];
     }
 
     // Stage 2: each output port picks one stage-1 winner targeting it.
-    portReqs_.assign(static_cast<std::size_t>(numPorts_), false);
-    auto &portReqs = portReqs_;
-    for (PortId out = 0; out < numPorts_; ++out) {
-        std::fill(portReqs.begin(), portReqs.end(), false);
-        bool any = false;
-        for (PortId p = 0; p < numPorts_; ++p) {
-            const std::int32_t idx = stageOne[static_cast<std::size_t>(p)];
-            if (idx >= 0 &&
-                requests[static_cast<std::size_t>(idx)].outPort == out) {
-                portReqs[static_cast<std::size_t>(p)] = true;
-                any = true;
-            }
-        }
-        if (!any)
-            continue;
-        const std::int32_t pWin =
-            outputStage_[static_cast<std::size_t>(out)].arbitrate(portReqs);
-        if (pWin >= 0) {
-            const auto &req = requests[static_cast<std::size_t>(
-                stageOne[static_cast<std::size_t>(pWin)])];
-            grants.push_back({req.inPort, req.inVc, req.outPort});
+    std::uint64_t outRequested = 0;  // output ports with any contender
+    for (PortId p = 0; p < numPorts_; ++p) {
+        const std::int32_t idx = stageOne_[static_cast<std::size_t>(p)];
+        if (idx >= 0) {
+            outRequested |=
+                std::uint64_t{1}
+                << requests[static_cast<std::size_t>(idx)].outPort;
         }
     }
-    return grants;
+    for (PortId out = 0; out < numPorts_; ++out) {
+        if ((outRequested & (std::uint64_t{1} << out)) == 0)
+            continue;
+        std::uint64_t portReqs = 0;
+        for (PortId p = 0; p < numPorts_; ++p) {
+            const std::int32_t idx = stageOne_[static_cast<std::size_t>(p)];
+            if (idx >= 0 &&
+                requests[static_cast<std::size_t>(idx)].outPort == out)
+                portReqs |= std::uint64_t{1} << p;
+        }
+        const std::int32_t pWin =
+            outputStage_[static_cast<std::size_t>(out)].arbitrateMask(
+                portReqs);
+        if (pWin >= 0) {
+            const auto &req = requests[static_cast<std::size_t>(
+                stageOne_[static_cast<std::size_t>(pWin)])];
+            grants_.push_back({req.inPort, req.inVc, req.outPort});
+        }
+    }
+    return grants_;
 }
 
 } // namespace dvsnet::router

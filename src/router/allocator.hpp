@@ -54,18 +54,32 @@ class SeparableVcAllocator
      *
      * @param requests one entry per input VC wanting a downstream VC
      * @param vcFree   predicate: is downstream (port, vc) unallocated?
-     * @return grants, at most one per requester and per (port, vc)
+     * @return grants, at most one per requester and per (port, vc);
+     *         the reference is to internal scratch, valid until the
+     *         next allocate() call
      */
-    std::vector<VcGrant>
+    const std::vector<VcGrant> &
     allocate(const std::vector<VcRequest> &requests,
              const std::function<bool(PortId, VcId)> &vcFree);
+
+    /**
+     * Hot-path overload: the caller supplies one free-VC bitmask per
+     * output port (bit v set = downstream (port, v) unallocated)
+     * instead of a predicate.  Identical grants and arbiter-state
+     * evolution as the predicate overload.
+     */
+    const std::vector<VcGrant> &
+    allocate(const std::vector<VcRequest> &requests,
+             const std::vector<std::uint32_t> &freeVcMasks);
 
   private:
     PortId numPorts_;
     std::int32_t numVcs_;
     std::int32_t numRequesters_;
     std::vector<RoundRobinArbiter> arbiters_;  ///< per (port, vc)
-    std::vector<bool> reqMatrix_;              ///< scratch
+    std::vector<bool> reqMatrix_;              ///< scratch (wide geometries)
+    std::vector<std::uint32_t> freeMasks_;     ///< scratch (predicate shim)
+    std::vector<VcGrant> grants_;              ///< scratch (returned)
 };
 
 /** Request from an input VC for a crossbar timeslot. */
@@ -94,8 +108,11 @@ class SeparableSwitchAllocator
   public:
     SeparableSwitchAllocator(PortId numPorts, std::int32_t numVcs);
 
-    /** Allocate crossbar slots; at most one grant per input and output. */
-    std::vector<SwitchGrant>
+    /**
+     * Allocate crossbar slots; at most one grant per input and output.
+     * The reference is to internal scratch, valid until the next call.
+     */
+    const std::vector<SwitchGrant> &
     allocate(const std::vector<SwitchRequest> &requests);
 
   private:
@@ -106,8 +123,9 @@ class SeparableSwitchAllocator
 
     // Scratch reused across invocations (hot path, no allocation).
     std::vector<std::int32_t> stageOne_;
-    std::vector<bool> vcReqs_;
-    std::vector<bool> portReqs_;
+    std::vector<std::uint32_t> vcReqMasks_;       ///< per input port
+    std::vector<std::int32_t> firstReqIdx_;       ///< per (port, vc)
+    std::vector<SwitchGrant> grants_;             ///< returned
 };
 
 } // namespace dvsnet::router

@@ -9,6 +9,7 @@
 
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -55,6 +56,27 @@ class RoundRobinArbiter final : public Arbiter
             }
         }
         return -1;
+    }
+
+    /**
+     * Bitmask fast path for the allocators' hot loop — identical winner
+     * and rotation-state evolution as the vector overload, no virtual
+     * dispatch and no per-bit loads.  Requires n <= 64.
+     */
+    std::int32_t
+    arbitrateMask(std::uint64_t requests)
+    {
+        DVSNET_ASSERT(n_ <= 64, "mask arbitration needs <= 64 inputs");
+        if (requests == 0)
+            return -1;
+        // First requesting index at or after next_, else wrap to the
+        // overall lowest set bit (requests only has bits below n_).
+        const std::uint64_t fromNext =
+            requests & (~std::uint64_t{0} << next_);
+        const std::int32_t idx = std::countr_zero(
+            fromNext != 0 ? fromNext : requests);
+        next_ = (idx + 1) % n_;
+        return idx;
     }
 
     std::int32_t size() const override { return n_; }

@@ -13,7 +13,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "common/fatal.hpp"
@@ -31,33 +30,44 @@ enum class VcState : std::uint8_t
     Active,   ///< downstream VC held; flits may bid for the switch
 };
 
-/** One virtual channel: FIFO of flits plus allocation state. */
+/**
+ * One virtual channel: FIFO of flits plus allocation state.
+ *
+ * The FIFO is a fixed ring over a preallocated flit array — the buffer
+ * depth is static, and the ring keeps the router's per-cycle scans on
+ * contiguous memory (this sits on the simulator's hottest path).
+ */
 class VirtualChannel
 {
   public:
-    explicit VirtualChannel(std::size_t capacity) : capacity_(capacity)
+    explicit VirtualChannel(std::size_t capacity)
+        : slots_(capacity), capacity_(capacity)
     {
         DVSNET_ASSERT(capacity > 0, "VC capacity must be positive");
     }
 
     /** Free slots remaining. */
-    std::size_t freeSlots() const { return capacity_ - fifo_.size(); }
+    std::size_t freeSlots() const { return capacity_ - size_; }
 
     /** Occupied slots. */
-    std::size_t occupancy() const { return fifo_.size(); }
+    std::size_t occupancy() const { return size_; }
 
     /** Capacity in flits. */
     std::size_t capacity() const { return capacity_; }
 
-    bool empty() const { return fifo_.empty(); }
-    bool full() const { return fifo_.size() == capacity_; }
+    bool empty() const { return size_ == 0; }
+    bool full() const { return size_ == capacity_; }
 
     /** Enqueue an arriving flit (must not be full). */
     void
     enqueue(const Flit &flit)
     {
         DVSNET_ASSERT(!full(), "enqueue into full VC (credit bug)");
-        fifo_.push_back(flit);
+        std::size_t idx = head_ + size_;
+        if (idx >= capacity_)
+            idx -= capacity_;
+        slots_[idx] = flit;
+        ++size_;
     }
 
     /** Flit at the head (must not be empty). */
@@ -65,7 +75,7 @@ class VirtualChannel
     front() const
     {
         DVSNET_ASSERT(!empty(), "front of empty VC");
-        return fifo_.front();
+        return slots_[head_];
     }
 
     /** Dequeue the head flit. */
@@ -73,8 +83,10 @@ class VirtualChannel
     dequeue()
     {
         DVSNET_ASSERT(!empty(), "dequeue from empty VC");
-        Flit f = fifo_.front();
-        fifo_.pop_front();
+        Flit f = slots_[head_];
+        if (++head_ == capacity_)
+            head_ = 0;
+        --size_;
         return f;
     }
 
@@ -104,8 +116,10 @@ class VirtualChannel
     }
 
   private:
-    std::deque<Flit> fifo_;
+    std::vector<Flit> slots_;  ///< ring storage, fixed at capacity_
     std::size_t capacity_;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
     VcState state_ = VcState::Idle;
     PortId outPort_ = kInvalidId;
     VcId outVc_ = kInvalidId;
@@ -136,10 +150,13 @@ class InputBuffer
         return static_cast<std::int32_t>(vcs_.size());
     }
 
-    VirtualChannel &vc(VcId v) { return vcs_.at(static_cast<std::size_t>(v)); }
+    // Unchecked: every caller's VcId comes off a flit or grant that has
+    // already been range-asserted, and this accessor is in the router's
+    // per-cycle scan loops.
+    VirtualChannel &vc(VcId v) { return vcs_[static_cast<std::size_t>(v)]; }
     const VirtualChannel &vc(VcId v) const
     {
-        return vcs_.at(static_cast<std::size_t>(v));
+        return vcs_[static_cast<std::size_t>(v)];
     }
 
     /** Flits buffered across all VCs. */

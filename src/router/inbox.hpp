@@ -11,15 +11,25 @@
 
 #pragma once
 
-#include <deque>
+#include <utility>
+#include <vector>
 
 #include "common/fatal.hpp"
+#include "common/inline_fn.hpp"
 #include "common/types.hpp"
 
 namespace dvsnet::router
 {
 
-/** FIFO of (arrival tick, item) pairs with monotone arrival times. */
+/**
+ * FIFO of (arrival tick, item) pairs with monotone arrival times.
+ *
+ * Stored as a flat vector with a drain cursor rather than a deque: the
+ * router's step polls ready()/empty() every cycle, and a contiguous
+ * buffer that resets to offset zero whenever it fully drains (the
+ * common case — deliveries are future-dated, so a step consumes
+ * everything due) keeps those polls to two adjacent loads.
+ */
 template <typename T>
 class Inbox
 {
@@ -31,13 +41,22 @@ class Inbox
         DVSNET_ASSERT(queue_.empty() || when >= queue_.back().when,
                       "inbox arrival times must be monotone");
         queue_.push_back(Slot{when, item});
+        if (wake_)
+            wake_();
     }
+
+    /**
+     * Install a hook invoked on every push.  The network uses this to
+     * wake the owning router out of the idle-skip set when a delivery
+     * (flit, credit, or injected packet) lands here.
+     */
+    void setWakeHook(InlineFn hook) { wake_ = std::move(hook); }
 
     /** True if an item has arrived by `now`. */
     bool
     ready(Tick now) const
     {
-        return !queue_.empty() && queue_.front().when <= now;
+        return head_ < queue_.size() && queue_[head_].when <= now;
     }
 
     /** Pop the earliest item (precondition: ready(now)). */
@@ -45,21 +64,24 @@ class Inbox
     pop(Tick now)
     {
         DVSNET_ASSERT(ready(now), "inbox pop with nothing ready");
-        T item = queue_.front().item;
-        queue_.pop_front();
+        T item = queue_[head_].item;
+        if (++head_ == queue_.size()) {
+            queue_.clear();
+            head_ = 0;
+        }
         return item;
     }
 
     /** Items in flight (arrived or not). */
-    std::size_t size() const { return queue_.size(); }
+    std::size_t size() const { return queue_.size() - head_; }
 
-    bool empty() const { return queue_.empty(); }
+    bool empty() const { return head_ == queue_.size(); }
 
     /** Arrival tick of the earliest item; kTickNever if empty. */
     Tick
     nextArrival() const
     {
-        return queue_.empty() ? kTickNever : queue_.front().when;
+        return empty() ? kTickNever : queue_[head_].when;
     }
 
   private:
@@ -69,7 +91,9 @@ class Inbox
         T item;
     };
 
-    std::deque<Slot> queue_;
+    std::vector<Slot> queue_;  ///< [head_, size) = pending items
+    std::size_t head_ = 0;     ///< drain cursor, reset on full drain
+    InlineFn wake_;  ///< optional push notification (activity gating)
 };
 
 } // namespace dvsnet::router

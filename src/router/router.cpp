@@ -1,6 +1,7 @@
 #include "router/router.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/fatal.hpp"
 
@@ -20,6 +21,8 @@ Router::Router(NodeId id, const RouterConfig &config,
     DVSNET_ASSERT(config.numVcs >= 1, "router needs >= 1 VC");
     DVSNET_ASSERT(config.pipelineLatency >= 3,
                   "pipeline must cover RC, VA, SA");
+    DVSNET_ASSERT(config.numPorts * config.numVcs <= 64,
+                  "activity masks hold at most 64 input VCs");
 
     extraDelayTicks_ = cyclesToTicks(config.pipelineLatency - 2);
 
@@ -27,6 +30,23 @@ Router::Router(NodeId id, const RouterConfig &config,
     outputs_.resize(static_cast<std::size_t>(config.numPorts));
     for (PortId p = 0; p < config.numPorts; ++p)
         inputs_.emplace_back(config_);
+
+    // Per-inbox hooks keep the pending-port masks current and chain to
+    // the network-level wake (if installed) on every delivery.
+    for (PortId p = 0; p < config.numPorts; ++p) {
+        inputs_[static_cast<std::size_t>(p)].flitInbox.setWakeHook(
+            [this, p] {
+                pendingFlitPorts_ |= std::uint64_t{1} << p;
+                if (wake_)
+                    wake_();
+            });
+        outputs_[static_cast<std::size_t>(p)].creditInbox.setWakeHook(
+            [this, p] {
+                pendingCreditPorts_ |= std::uint64_t{1} << p;
+                if (wake_)
+                    wake_();
+            });
+    }
 }
 
 void
@@ -64,26 +84,32 @@ Router::creditInbox(PortId port)
     return outputs_.at(static_cast<std::size_t>(port)).creditInbox;
 }
 
-void
+bool
 Router::step(Tick now)
 {
     drainCredits(now);
     drainFlits(now);
-    if (bufferedFlits_ == 0)
-        return;  // nothing to allocate or route
-    // Reverse stage order: each allocation stage sees state produced by
-    // the earlier pipeline stage one cycle ago.
-    switchAllocate(now);
-    vcAllocate();
-    routeCompute();
+    if (bufferedFlits_ != 0) {
+        // Reverse stage order: each allocation stage sees state produced
+        // by the earlier pipeline stage one cycle ago.
+        switchAllocate(now);
+        vcAllocate();
+        routeCompute();
+    }
+    return !isIdle();
 }
 
 void
 Router::drainCredits(Tick now)
 {
+    std::uint64_t ports = pendingCreditPorts_;
+    if (ports == 0)
+        return;
     const double nowCycles =
         static_cast<double>(now) / static_cast<double>(kRouterClockPeriod);
-    for (PortId p = 0; p < config_.numPorts; ++p) {
+    while (ports != 0) {
+        const PortId p = std::countr_zero(ports);
+        ports &= ports - 1;
         auto &out = outputs_[static_cast<std::size_t>(p)];
         while (out.creditInbox.ready(now)) {
             const VcId vc = out.creditInbox.pop(now);
@@ -95,13 +121,19 @@ Router::drainCredits(Tick now)
                           "credit accounting underflow");
             out.occupancy.update(nowCycles, out.occupancyNow);
         }
+        // Keep the bit while future-dated credits remain in flight.
+        if (out.creditInbox.empty())
+            pendingCreditPorts_ &= ~(std::uint64_t{1} << p);
     }
 }
 
 void
 Router::drainFlits(Tick now)
 {
-    for (PortId p = 0; p < config_.numPorts; ++p) {
+    std::uint64_t ports = pendingFlitPorts_;
+    while (ports != 0) {
+        const PortId p = std::countr_zero(ports);
+        ports &= ports - 1;
         auto &in = inputs_[static_cast<std::size_t>(p)];
         while (in.flitInbox.ready(now)) {
             Flit flit = in.flitInbox.pop(now);
@@ -115,6 +147,8 @@ Router::drainFlits(Tick now)
                 if (vc.state() == VcState::Idle) {
                     DVSNET_ASSERT(vc.empty(), "idle VC with residue");
                     vc.setState(VcState::Routing);
+                    routingVcs_ |= std::uint64_t{1}
+                                   << vcIndex(p, flit.vc);
                 }
             } else {
                 DVSNET_ASSERT(vc.state() != VcState::Idle || !vc.empty(),
@@ -124,6 +158,9 @@ Router::drainFlits(Tick now)
             ++bufferedFlits_;
             ++stats_.flitsArrived;
         }
+        // Keep the bit while future-dated flits remain in flight.
+        if (in.flitInbox.empty())
+            pendingFlitPorts_ &= ~(std::uint64_t{1} << p);
     }
 }
 
@@ -133,27 +170,29 @@ Router::switchAllocate(Tick now)
     swRequests_.clear();
     const Tick earliest = now + extraDelayTicks_;
 
-    for (PortId p = 0; p < config_.numPorts; ++p) {
+    std::uint64_t active = activeVcs_;
+    while (active != 0) {
+        const std::int32_t idx = std::countr_zero(active);
+        active &= active - 1;
+        const PortId p = idx / config_.numVcs;
+        const VcId v = idx % config_.numVcs;
         auto &in = inputs_[static_cast<std::size_t>(p)];
-        for (VcId v = 0; v < config_.numVcs; ++v) {
-            auto &vc = in.buffer.vc(v);
-            if (vc.state() != VcState::Active || vc.empty())
-                continue;
-            const auto &out =
-                outputs_[static_cast<std::size_t>(vc.outPort())];
-            DVSNET_ASSERT(out.link != nullptr, "unconnected output port");
-            if (out.credits[static_cast<std::size_t>(vc.outVc())] == 0)
-                continue;
-            if (!out.link->canAccept(earliest))
-                continue;
-            swRequests_.push_back({p, v, vc.outPort()});
-        }
+        auto &vc = in.buffer.vc(v);
+        if (vc.empty())
+            continue;  // Active but waiting for body flits
+        const auto &out = outputs_[static_cast<std::size_t>(vc.outPort())];
+        DVSNET_ASSERT(out.link != nullptr, "unconnected output port");
+        if (out.credits[static_cast<std::size_t>(vc.outVc())] == 0)
+            continue;
+        if (!out.link->canAccept(earliest))
+            continue;
+        swRequests_.push_back({p, v, vc.outPort()});
     }
 
     if (swRequests_.empty())
         return;
 
-    const auto grants = swAlloc_.allocate(swRequests_);
+    const auto &grants = swAlloc_.allocate(swRequests_);
     const double nowCycles =
         static_cast<double>(now) / static_cast<double>(kRouterClockPeriod);
 
@@ -194,11 +233,14 @@ Router::switchAllocate(Tick now)
         if (flit.isTail()) {
             out.vcBusy[static_cast<std::size_t>(outVc)] = false;
             vc.release();
+            activeVcs_ &= ~(std::uint64_t{1} << vcIndex(g.inPort, g.inVc));
             // Another packet may already be queued behind the tail.
             if (!vc.empty()) {
                 DVSNET_ASSERT(vc.front().isHead(),
                               "non-head behind a departed tail");
                 vc.setState(VcState::Routing);
+                routingVcs_ |= std::uint64_t{1}
+                               << vcIndex(g.inPort, g.inVc);
             }
         }
     }
@@ -207,33 +249,43 @@ Router::switchAllocate(Tick now)
 void
 Router::vcAllocate()
 {
-    vcRequests_.clear();
-    for (PortId p = 0; p < config_.numPorts; ++p) {
-        auto &in = inputs_[static_cast<std::size_t>(p)];
-        for (VcId v = 0; v < config_.numVcs; ++v) {
-            auto &vc = in.buffer.vc(v);
-            if (vc.state() != VcState::VcAlloc)
-                continue;
-            vcRequests_.push_back({vcIndex(p, v), vc.outPort(),
-                                   vc.vcMask()});
-        }
-    }
-    if (vcRequests_.empty())
+    if (vcAllocVcs_ == 0)
         return;
+    vcRequests_.clear();
+    std::uint64_t waiting = vcAllocVcs_;
+    while (waiting != 0) {
+        const std::int32_t idx = std::countr_zero(waiting);
+        waiting &= waiting - 1;
+        const PortId p = idx / config_.numVcs;
+        const VcId v = idx % config_.numVcs;
+        auto &vc = inputs_[static_cast<std::size_t>(p)].buffer.vc(v);
+        vcRequests_.push_back({idx, vc.outPort(), vc.vcMask()});
+    }
 
-    auto vcFree = [this](PortId port, VcId vc) {
-        const auto &out = outputs_[static_cast<std::size_t>(port)];
-        return out.link != nullptr &&
-               !out.vcBusy[static_cast<std::size_t>(vc)];
-    };
+    // Free-VC bitmasks per output port (bit v = downstream VC v
+    // unallocated) — the allocator's hot-path interface.
+    vcFreeMasks_.resize(static_cast<std::size_t>(config_.numPorts));
+    for (PortId p = 0; p < config_.numPorts; ++p) {
+        const auto &out = outputs_[static_cast<std::size_t>(p)];
+        std::uint32_t mask = 0;
+        if (out.link != nullptr) {
+            for (VcId v = 0; v < config_.numVcs; ++v) {
+                if (!out.vcBusy[static_cast<std::size_t>(v)])
+                    mask |= 1u << v;
+            }
+        }
+        vcFreeMasks_[static_cast<std::size_t>(p)] = mask;
+    }
 
-    for (const auto &g : vcAlloc_.allocate(vcRequests_, vcFree)) {
+    for (const auto &g : vcAlloc_.allocate(vcRequests_, vcFreeMasks_)) {
         const PortId p = g.requester / config_.numVcs;
         const VcId v = g.requester % config_.numVcs;
         auto &vc = inputs_[static_cast<std::size_t>(p)].buffer.vc(v);
         DVSNET_ASSERT(vc.state() == VcState::VcAlloc, "stale VC grant");
         vc.setOutVc(g.outVc);
         vc.setState(VcState::Active);
+        vcAllocVcs_ &= ~(std::uint64_t{1} << g.requester);
+        activeVcs_ |= std::uint64_t{1} << g.requester;
         outputs_[static_cast<std::size_t>(g.outPort)]
             .vcBusy[static_cast<std::size_t>(g.outVc)] = true;
         ++stats_.vcGrants;
@@ -243,12 +295,18 @@ Router::vcAllocate()
 void
 Router::routeCompute()
 {
-    for (PortId p = 0; p < config_.numPorts; ++p) {
-        auto &in = inputs_[static_cast<std::size_t>(p)];
-        for (VcId v = 0; v < config_.numVcs; ++v) {
+    std::uint64_t routing = routingVcs_;
+    // Every Routing VC advances to VcAlloc this cycle.
+    routingVcs_ = 0;
+    vcAllocVcs_ |= routing;
+    while (routing != 0) {
+        const std::int32_t idx = std::countr_zero(routing);
+        routing &= routing - 1;
+        const PortId p = idx / config_.numVcs;
+        const VcId v = idx % config_.numVcs;
+        {
+            auto &in = inputs_[static_cast<std::size_t>(p)];
             auto &vc = in.buffer.vc(v);
-            if (vc.state() != VcState::Routing)
-                continue;
             DVSNET_ASSERT(!vc.empty() && vc.front().isHead(),
                           "routing state without a head flit");
             const Flit &head = vc.front();
@@ -290,16 +348,12 @@ Router::routeCompute()
 }
 
 bool
-Router::idle() const
+Router::isIdle() const
 {
-    for (PortId p = 0; p < config_.numPorts; ++p) {
-        const auto &in = inputs_[static_cast<std::size_t>(p)];
-        if (!in.flitInbox.empty() || in.buffer.totalOccupancy() > 0)
-            return false;
-        if (!outputs_[static_cast<std::size_t>(p)].creditInbox.empty())
-            return false;
-    }
-    return true;
+    // bufferedFlits_ aggregates all input-VC occupancies; the pending
+    // masks mirror inbox emptiness, so idleness is three word compares.
+    return bufferedFlits_ == 0 && pendingFlitPorts_ == 0 &&
+           pendingCreditPorts_ == 0;
 }
 
 std::size_t

@@ -29,6 +29,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/inline_fn.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "router/allocator.hpp"
@@ -92,11 +93,30 @@ class Router
     /** Inbox the downstream router's credits arrive in (output `port`). */
     Inbox<VcId> &creditInbox(PortId port);
 
-    /** Execute one router-core cycle ending at tick `now`. */
-    void step(Tick now);
+    /**
+     * Install the router-level wake hook, fired whenever any of this
+     * router's inboxes receives an item (flit delivery, credit return,
+     * or terminal injection).  The router keeps its own per-port
+     * pending masks; the hook is the network's signal to move the
+     * router back into the active set.
+     */
+    void setWakeHook(InlineFn hook) { wake_ = std::move(hook); }
 
-    /** True if no flit is buffered or in flight into this router. */
-    bool idle() const;
+    /**
+     * Execute one router-core cycle ending at tick `now`.  Returns the
+     * activity result: true if the router may still have work (buffered
+     * flits or pending inbox items, including future-timestamped
+     * arrivals), false if it went idle and can be skipped until a wake.
+     */
+    bool step(Tick now);
+
+    /**
+     * Cheap idleness predicate: no buffered flits, no pending flit or
+     * credit inbox items, empty pipeline.  Stepping an idle router is a
+     * no-op, so the network skips idle routers until something is
+     * pushed into one of their inboxes.
+     */
+    bool isIdle() const;
 
     /** Free slots in the terminal input VC (for the injection process). */
     std::size_t terminalFreeSlots(VcId vc) const;
@@ -179,9 +199,24 @@ class Router
     std::size_t bufferedFlits_ = 0;  ///< total across all input VCs
     RouterStats stats_;
 
+    // Activity masks — the router's own gating layer.  Port bits are
+    // set by the inbox wake hooks and cleared when a drain empties the
+    // inbox; VC bits (dense index vcIndex(p, v), so ascending bit order
+    // equals the ascending (port, vc) scan order of the allocation
+    // stages) mirror each VC's pipeline state exactly.  They turn
+    // isIdle() into three word compares and the per-cycle stage scans
+    // into popcount-bounded loops.
+    std::uint64_t pendingFlitPorts_ = 0;    ///< flitInbox(p) non-empty
+    std::uint64_t pendingCreditPorts_ = 0;  ///< creditInbox(p) non-empty
+    std::uint64_t routingVcs_ = 0;   ///< VCs in VcState::Routing
+    std::uint64_t vcAllocVcs_ = 0;   ///< VCs in VcState::VcAlloc
+    std::uint64_t activeVcs_ = 0;    ///< VCs in VcState::Active
+    InlineFn wake_;  ///< network-level wake, chained from inbox hooks
+
     // Scratch vectors reused across cycles to avoid allocation churn.
     std::vector<SwitchRequest> swRequests_;
     std::vector<VcRequest> vcRequests_;
+    std::vector<std::uint32_t> vcFreeMasks_;
     std::vector<RouteCandidate> candidates_;
 };
 

@@ -5,32 +5,45 @@
  * Events scheduled for the same tick execute in insertion (FIFO) order —
  * a determinism guarantee the rest of the simulator relies on (e.g. a
  * router's cycle step always observes link deliveries scheduled earlier
- * at the same tick).
+ * at the same tick).  The queue executes in strict (tick, insertion
+ * sequence) order regardless of which internal tier holds an event.
  *
- * Performance: the binary heap holds 24-byte POD keys; the callbacks
- * live in recycled side slots, so heap sift operations never move
- * std::function objects.  The workload model alone schedules tens of
- * events per simulated cycle, making this the hottest structure in the
- * simulator.  Memory is bounded by the number of *pending* events: a
- * slot is recycled as soon as its heap key pops (fired or cancelled).
+ * Performance: this is the hottest structure in the simulator, so it is
+ * two-tiered.  Near-horizon events (link deliveries, clock edges,
+ * controller windows) go into a bucketed time wheel — kNumBuckets
+ * buckets of kBucketWidth ticks, each a small binary min-heap of 24-byte
+ * POD keys, with an occupancy bitmap to find the next non-empty bucket.
+ * Events beyond the wheel horizon (voltage ramps, long off-periods,
+ * task lifetimes) overflow into a single binary heap, which is also the
+ * always-correct fallback for events behind the wheel cursor.  Callbacks
+ * are heap-free InlineFn callables living in recycled side slots, so
+ * sift operations only move keys.  Memory is bounded by the number of
+ * *pending* events: a slot is recycled as soon as its key pops (fired
+ * or cancelled).
  */
 
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <vector>
 
+#include "common/inline_fn.hpp"
 #include "common/types.hpp"
 
 namespace dvsnet::sim
 {
 
-/** Callback type executed when an event fires. */
-using EventFn = std::function<void()>;
+/**
+ * Callback type executed when an event fires.  Heap-free: captures are
+ * limited to two words (a `this` pointer plus one packed word) and
+ * overflow is a compile error — see common/inline_fn.hpp.
+ */
+using EventFn = InlineFn;
 
-/** Binary-heap event queue keyed by (tick, insertion sequence). */
+/** Two-tier (time wheel + overflow heap) event queue keyed by
+ *  (tick, insertion sequence). */
 class EventQueue
 {
   public:
@@ -40,13 +53,15 @@ class EventQueue
      */
     using EventId = std::uint64_t;
 
+    EventQueue();
+
     /** Schedule `fn` at absolute tick `when`. Returns a cancel handle. */
     EventId schedule(Tick when, EventFn fn);
 
     /**
      * Cancel a previously scheduled event.  Returns true if the event was
      * pending (it will not fire); false if it already fired or was
-     * cancelled.  Cancellation is lazy: the heap key is skipped on pop.
+     * cancelled.  Cancellation is lazy: the key is skipped on pop.
      */
     bool cancel(EventId id);
 
@@ -68,6 +83,15 @@ class EventQueue
     /** Total events ever executed (for micro-benchmarks/diagnostics). */
     std::uint64_t executedCount() const { return executed_; }
 
+    /** Pending keys (live + lazily cancelled) held by the wheel tier. */
+    std::size_t wheelPending() const { return wheelKeys_; }
+
+    /** Pending keys (live + lazily cancelled) held by the overflow heap. */
+    std::size_t overflowPending() const { return heap_.size(); }
+
+    /** Width of the wheel's near-future window, in ticks. */
+    static constexpr Tick wheelHorizon();
+
   private:
     struct Key
     {
@@ -83,23 +107,60 @@ class EventQueue
 
     struct Slot
     {
-        EventFn fn;             ///< null = cancelled (key still in heap)
+        EventFn fn;             ///< empty = cancelled (key still queued)
         std::uint32_t gen = 0;  ///< bumped when the slot is recycled
     };
 
-    /** Pop dead (cancelled) keys off the heap top. */
-    void skipDead() const;
+    /// 64-tick buckets: one router cycle spans ~16 buckets, so clock
+    /// edges, link deliveries, and controller windows (~200k ticks) all
+    /// land in the wheel while multi-ms DVS ramps overflow to the heap.
+    static constexpr int kBucketShift = 6;
+    static constexpr std::size_t kNumBuckets = 4096;
+    static constexpr Tick kBucketWidth = Tick{1} << kBucketShift;
+    static constexpr Tick kWheelHorizon = kBucketWidth * kNumBuckets;
+    static constexpr std::size_t kBitmapWords = kNumBuckets / 64;
+
+    using Bucket = std::vector<Key>;
+
+    /** Route a key to the wheel (inside window) or the overflow heap. */
+    void pushKey(const Key &key);
+
+    /**
+     * Earliest pending wheel key, skipping/recycling cancelled keys and
+     * advancing the cursor past drained buckets.  nullptr if the wheel
+     * is empty.  The returned key lives at the cursor bucket's top.
+     */
+    const Key *wheelPeek();
+
+    /** Earliest pending heap key, skipping/recycling cancelled keys. */
+    const Key *heapPeek();
+
+    /** Index of the first occupied bucket at/after `from` (circular).
+     *  Precondition: some bucket is occupied. */
+    std::size_t nextOccupied(std::size_t from) const;
 
     /** Return a slot to the free list after its key popped. */
     void recycle(std::uint32_t slot);
 
-    mutable std::priority_queue<Key, std::vector<Key>,
-                                std::greater<Key>> heap_;
+    std::vector<Bucket> buckets_;
+    std::array<std::uint64_t, kBitmapWords> occupied_{};
+    Tick wheelBase_ = 0;        ///< window start; multiple of kBucketWidth
+    std::size_t cursorIdx_ = 0; ///< bucket index of wheelBase_
+    std::size_t wheelKeys_ = 0; ///< pending keys (live + dead) in wheel
+
+    std::priority_queue<Key, std::vector<Key>, std::greater<Key>> heap_;
+
     std::vector<Slot> slots_;
     std::vector<std::uint32_t> freeSlots_;
     std::uint64_t nextSeq_ = 0;
     std::size_t liveCount_ = 0;
     std::uint64_t executed_ = 0;
 };
+
+constexpr Tick
+EventQueue::wheelHorizon()
+{
+    return kWheelHorizon;
+}
 
 } // namespace dvsnet::sim

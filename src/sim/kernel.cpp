@@ -22,8 +22,11 @@ Kernel::after(Tick delay, EventFn fn)
 Tick
 Kernel::run(Tick until)
 {
-    stopRequested_ = false;
-    while (!queue_.empty() && !stopRequested_) {
+    // A stop() requested before run() is entered is honored, not
+    // discarded: the flag is checked (and consumed) at the loop top, so
+    // a pre-run stop returns immediately at the current time with the
+    // queue untouched.  The next run() proceeds normally.
+    while (!stopRequested_ && !queue_.empty()) {
         const Tick next = queue_.nextTick();
         if (next > until) {
             now_ = until;
@@ -31,6 +34,10 @@ Kernel::run(Tick until)
         }
         now_ = next;
         queue_.executeNext();
+    }
+    if (stopRequested_) {
+        stopRequested_ = false;
+        return now_;  // stopped: do not advance to the horizon
     }
     if (until != kTickNever && now_ < until)
         now_ = until;

@@ -37,13 +37,20 @@ class Kernel
     bool cancel(EventQueue::EventId id) { return queue_.cancel(id); }
 
     /**
-     * Run until the queue drains or simulated time would exceed `until`.
-     * Events exactly at `until` still execute.  Returns the final time
-     * (== `until` if the horizon was hit).
+     * Run until the queue drains, simulated time would exceed `until`,
+     * or a stop() request is observed.  Events exactly at `until` still
+     * execute.  Returns the final time (== `until` if the horizon was
+     * hit; the clock does NOT advance to the horizon on a stop).
      */
     Tick run(Tick until = kTickNever);
 
-    /** Stop a run() in progress after the current event completes. */
+    /**
+     * Request that run() return after the current event completes.  A
+     * request made while no run() is active is remembered: the next
+     * run() consumes it and returns immediately at the current time
+     * without executing any events.  Each stop() is consumed by exactly
+     * one run().
+     */
     void stop() { stopRequested_ = true; }
 
     /** Number of pending events. */

@@ -64,7 +64,7 @@ OnOffSourceBank::toggle(std::int32_t source, bool nowOn)
         onUntil_[idx] = kernel_.now() + len;
 
         // First emission of this ON period.
-        const std::uint64_t ep = epoch_[idx];
+        const std::uint32_t ep = epoch_[idx];
         kernel_.after(cyclesToGap(rng_.exponential(1.0 / onRate_)),
                       [this, source, ep] { emitLoop(source, ep); });
         kernel_.after(len, [this, source] { toggle(source, false); });
@@ -77,7 +77,7 @@ OnOffSourceBank::toggle(std::int32_t source, bool nowOn)
 }
 
 void
-OnOffSourceBank::emitLoop(std::int32_t source, std::uint64_t onEpoch)
+OnOffSourceBank::emitLoop(std::int32_t source, std::uint32_t onEpoch)
 {
     if (stopped_)
         return;

@@ -85,7 +85,7 @@ class OnOffSourceBank
 
   private:
     void toggle(std::int32_t source, bool nowOn);
-    void emitLoop(std::int32_t source, std::uint64_t onEpoch);
+    void emitLoop(std::int32_t source, std::uint32_t onEpoch);
     Tick cyclesToGap(double cycles) const;
 
     sim::Kernel &kernel_;
@@ -100,8 +100,10 @@ class OnOffSourceBank
     std::uint64_t emitted_ = 0;
 
     /** Per-source ON epoch: bumped on every toggle so stale emission
-     *  events from a previous ON period self-cancel. */
-    std::vector<std::uint64_t> epoch_;
+     *  events from a previous ON period self-cancel.  32 bits so a
+     *  (source, epoch) pair fits one word of an InlineFn capture; a
+     *  source would need 4 billion toggles to wrap. */
+    std::vector<std::uint32_t> epoch_;
     std::vector<Tick> onUntil_;  ///< end tick of the current ON period
 };
 

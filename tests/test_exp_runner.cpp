@@ -138,19 +138,19 @@ TEST(Runner, SerialAndParallelSweepsBitIdentical)
     }
 }
 
-TEST(Runner, LegacySweepInjectionMatchesRunner)
+TEST(Runner, DefaultOptionsSweepMatchesExplicitThreads)
 {
     const auto spec = smallSpec(PolicyKind::None);
     const std::vector<double> rates{0.1, 0.3};
 
-    const auto legacy = dvsnet::network::sweepInjection(spec, rates);
+    const auto defaulted = ExperimentRunner::sweep(spec, rates);
     RunnerOptions parallel;
     parallel.threads = 2;
     const auto direct = ExperimentRunner::sweep(spec, rates, parallel);
 
-    ASSERT_EQ(legacy.size(), direct.size());
-    for (std::size_t i = 0; i < legacy.size(); ++i)
-        expectIdentical(legacy[i].results, direct[i].results);
+    ASSERT_EQ(defaulted.size(), direct.size());
+    for (std::size_t i = 0; i < defaulted.size(); ++i)
+        expectIdentical(defaulted[i].results, direct[i].results);
 }
 
 TEST(Runner, ResultsComeBackInSubmissionOrder)

@@ -92,6 +92,33 @@ TEST(Kernel, StopEndsRun)
     EXPECT_EQ(k.pendingEvents(), 1u);
 }
 
+TEST(Kernel, StopBeforeRunIsHonored)
+{
+    Kernel k;
+    bool fired = false;
+    k.at(10, [&] { fired = true; });
+    k.stop();
+    EXPECT_EQ(k.run(), Tick{0});  // pre-run stop: no events execute
+    EXPECT_FALSE(fired);
+    EXPECT_EQ(k.now(), Tick{0});
+    EXPECT_EQ(k.pendingEvents(), 1u);
+
+    // The stop was consumed: the next run proceeds normally.
+    k.run();
+    EXPECT_TRUE(fired);
+    EXPECT_EQ(k.now(), Tick{10});
+}
+
+TEST(Kernel, StopDoesNotAdvanceClockToHorizon)
+{
+    Kernel k;
+    k.at(10, [&] { k.stop(); });
+    k.at(500, [] {});
+    EXPECT_EQ(k.run(200), Tick{10});  // stopped at 10, not dragged to 200
+    EXPECT_EQ(k.now(), Tick{10});
+    EXPECT_EQ(k.pendingEvents(), 1u);
+}
+
 TEST(Kernel, CancelPendingEvent)
 {
     Kernel k;
@@ -102,15 +129,29 @@ TEST(Kernel, CancelPendingEvent)
     EXPECT_FALSE(fired);
 }
 
+namespace
+{
+
+/** Self-rescheduling chain as a two-word functor (fits an InlineFn). */
+struct RepeatingStep
+{
+    Kernel *kernel;
+    int *ticks;
+
+    void operator()() const
+    {
+        ++*ticks;
+        kernel->after(10, RepeatingStep{kernel, ticks});
+    }
+};
+
+} // namespace
+
 TEST(Kernel, SelfReschedulingChainRespectsHorizon)
 {
     Kernel k;
     int ticks = 0;
-    std::function<void()> step = [&] {
-        ++ticks;
-        k.after(10, step);
-    };
-    k.at(10, step);
+    k.at(10, RepeatingStep{&k, &ticks});
     k.run(100);
     EXPECT_EQ(ticks, 10);  // fired at 10, 20, ..., 100
 }

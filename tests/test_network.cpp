@@ -268,6 +268,53 @@ TEST(Network, ControllerAccessors)
     EXPECT_EQ(without.controller(0), nullptr);
 }
 
+TEST(Network, IdleNetworkQuiescesToEmptyActiveSets)
+{
+    // No traffic: once the initial step settles, every router is idle
+    // and the per-cycle step set drains to nothing.
+    Network net(smallConfig());
+    net.runUntilCycle(50);
+    EXPECT_EQ(net.activeRouterCount(), 0u);
+    EXPECT_EQ(net.activeSourceCount(), 0u);
+    // The heartbeat keeps ticking but steps no routers.
+    const auto stepsBefore =
+        net.observability().counterValue("network.router_steps");
+    net.runUntilCycle(200);
+    EXPECT_EQ(net.observability().counterValue("network.router_steps"),
+              stepsBefore);
+    EXPECT_GE(net.observability().counterValue("network.cycles"), 200u);
+
+    // A single injection into the quiesced network wakes the source and
+    // its router; delivery wakes ripple downstream from there.
+    net.injectPacket(0, 15);
+    EXPECT_GE(net.activeSourceCount(), 1u);
+    net.runUntilCycle(net.currentCycle() + 1);
+    EXPECT_GE(net.activeRouterCount(), 1u);
+}
+
+TEST(Network, LightLoadSkipsIdleRoutersAndWakesOnDelivery)
+{
+    Network net(smallConfig());
+    PatternTraffic traffic(net.topology(), Pattern::UniformRandom, 0.002,
+                           7);
+    net.attachTraffic(traffic);
+    const RunResults res = net.run(1000, 10000);
+    ASSERT_GT(res.packetsDelivered, 50u);
+
+    const auto cycles = net.observability().counterValue("network.cycles");
+    const auto steps =
+        net.observability().counterValue("network.router_steps");
+    const auto wakes =
+        net.observability().counterValue("network.router_wakes");
+    const auto nodes =
+        static_cast<std::uint64_t>(net.topology().numNodes());
+
+    // Gating must have skipped a meaningful share of router steps at
+    // this load, and every skipped-then-used router implies a wake.
+    EXPECT_LT(steps, cycles * nodes);
+    EXPECT_GT(wakes, 0u);
+}
+
 TEST(NetworkDeathTest, SelfAddressedPacketRejected)
 {
     Network net(smallConfig());

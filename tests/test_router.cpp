@@ -254,17 +254,17 @@ TEST(Router, BlockedChannelExertsBackpressure)
     h.deliver(h.topo.terminalPort(), packetFlit(1, 0, 1, 1, 0), 1);
     h.stepTo(1, 20);
     EXPECT_EQ(h.router.bufferOccupancy(h.topo.terminalPort()), 1u);
-    EXPECT_FALSE(h.router.idle());
+    EXPECT_FALSE(h.router.isIdle());
 }
 
 TEST(Router, IdleReflectsState)
 {
     Harness h;
-    EXPECT_TRUE(h.router.idle());
+    EXPECT_TRUE(h.router.isIdle());
     h.deliver(h.topo.terminalPort(), packetFlit(1, 0, 1, 1, 0), 1);
-    EXPECT_FALSE(h.router.idle());
+    EXPECT_FALSE(h.router.isIdle());
     h.stepTo(1, 10);
-    EXPECT_TRUE(h.router.idle());
+    EXPECT_TRUE(h.router.isIdle());
 }
 
 TEST(Router, TerminalFreeSlotsTracksOccupancy)

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "exp/runner.hpp"
 #include "network/sweep.hpp"
 
 using dvsnet::network::DvsComparison;
@@ -14,11 +15,10 @@ using dvsnet::network::ExperimentSpec;
 using dvsnet::network::PolicyKind;
 using dvsnet::network::RunResults;
 using dvsnet::network::SweepPoint;
+using dvsnet::exp::ExperimentRunner;
 using dvsnet::network::compareDvs;
 using dvsnet::network::rateGrid;
-using dvsnet::network::runOnePoint;
 using dvsnet::network::saturationThroughput;
-using dvsnet::network::sweepInjection;
 
 namespace
 {
@@ -135,9 +135,11 @@ TEST(CompareDvs, SummaryMath)
     EXPECT_GT(cmp.saturationBase, 0.0);
 }
 
-TEST(SweepEndToEnd, RunOnePointProducesTraffic)
+TEST(SweepEndToEnd, RunPointProducesTraffic)
 {
-    const RunResults res = runOnePoint(smallSpec(PolicyKind::None), 0.2);
+    const auto spec = smallSpec(PolicyKind::None);
+    const RunResults res =
+        dvsnet::exp::runPoint(spec, 0.2, spec.workload.seed);
     EXPECT_GT(res.packetsDelivered, 500u);
     EXPECT_GT(res.avgLatencyCycles, 10.0);
     EXPECT_NEAR(res.normalizedPower, 1.0, 1e-9);
@@ -145,8 +147,8 @@ TEST(SweepEndToEnd, RunOnePointProducesTraffic)
 
 TEST(SweepEndToEnd, PointsAreIndependentAndMonotoneInLoad)
 {
-    const auto series = sweepInjection(smallSpec(PolicyKind::None),
-                                       {0.1, 0.4});
+    const auto series = ExperimentRunner::sweep(smallSpec(PolicyKind::None),
+                                                {0.1, 0.4});
     ASSERT_EQ(series.size(), 2u);
     EXPECT_LT(series[0].results.throughputPktsPerCycle,
               series[1].results.throughputPktsPerCycle);
@@ -156,7 +158,7 @@ TEST(SweepEndToEnd, DvsPolicySavesPowerOnSweep)
 {
     auto spec = smallSpec(PolicyKind::History);
     spec.warmup = 60000;  // let the levels settle
-    const auto series = sweepInjection(spec, {0.1});
+    const auto series = ExperimentRunner::sweep(spec, {0.1});
     EXPECT_GT(series[0].results.savingsFactor, 1.5);
 }
 
