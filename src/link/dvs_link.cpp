@@ -41,6 +41,8 @@ DvsChannel::attachObservability(CounterRegistry *registry)
         ctrStepsCompleted_ = nullptr;
         ctrStepsRejected_ = nullptr;
         ctrFlitsSent_ = nullptr;
+        ctrFlitBursts_ = nullptr;
+        ctrCreditBursts_ = nullptr;
         seqAssert_ = nullptr;
         return;
     }
@@ -48,6 +50,8 @@ DvsChannel::attachObservability(CounterRegistry *registry)
     ctrStepsCompleted_ = &registry->counter("dvs.steps_completed");
     ctrStepsRejected_ = &registry->counter("dvs.steps_rejected");
     ctrFlitsSent_ = &registry->counter("link.flits_sent");
+    ctrFlitBursts_ = &registry->counter("link.flit_bursts");
+    ctrCreditBursts_ = &registry->counter("link.credit_bursts");
     seqAssert_ = &registry->invariant("dvs.transition_sequencing");
 }
 
@@ -92,15 +96,43 @@ DvsChannel::send(const router::Flit &flit, Tick earliest)
     DVSNET_ASSERT(flitSink_ != nullptr, "flit sink not connected");
 
     const Tick departure = std::max(nextFree_, earliest);
+    // A burst continues only while serialization is back-to-back at one
+    // frequency level; a gap or a mid-flight requestStep (period_
+    // change, possibly with a lock pushing nextFree_ out) splits it.
+    if (departure != burstNextDeparture_ || period_ != burstPeriod_) {
+        ++flitBursts_;
+        if (ctrFlitBursts_ != nullptr)
+            ++*ctrFlitBursts_;
+        burstPeriod_ = period_;
+    }
     nextFree_ = departure + period_;
+    burstNextDeparture_ = nextFree_;
     busyTicks_ += period_;
     ++flitsSent_;
     if (ctrFlitsSent_ != nullptr)
         ++*ctrFlitsSent_;
 
-    // Serialization (one link cycle) + fixed wire propagation.
+    // Serialization (one link cycle) + fixed wire propagation.  The
+    // arrival is final here; when the sink is already non-empty the
+    // downstream router is awake (its pending-port bit stays set while
+    // the inbox holds anything), so a direct push costs nothing extra.
+    // Only a delivery that would land in an EMPTY inbox is deferred to
+    // a per-burst splice event at its arrival — that is the case where
+    // an immediate push would wake the idle receiver ~a dozen cycles
+    // early and make it step uselessly until the flit is due.
     const Tick arrival = departure + period_ + params_.propagationDelay;
-    flitSink_->push(arrival, flit);
+    if (pendingFlits_.empty() && !flitSink_->empty()) {
+        flitSink_->push(arrival, flit);
+        return departure;
+    }
+    DVSNET_ASSERT(pendingFlits_.empty() ||
+                      arrival >= pendingFlits_.back().when,
+                  "batched flit arrivals must be monotone");
+    pendingFlits_.push_back({arrival, flit});
+    if (flitFlushAt_ == kTickNever) {
+        flitFlushAt_ = arrival;
+        kernel_.at(arrival, [this] { flushFlits(); });
+    }
     return departure;
 }
 
@@ -112,7 +144,60 @@ DvsChannel::sendCredit(VcId vc, Tick now)
     // stalled while the receiver re-locks.
     const Tick arrival = std::max(now, disabledUntil_) + period_ +
                          params_.propagationDelay;
-    creditSink_->push(arrival, vc);
+    // Same policy as flits — direct push while the receiver is already
+    // awake (non-empty sink), one splice event per batch otherwise —
+    // plus a near-arrival shortcut: a credit due within the horizon is
+    // cheaper to deliver eagerly than to schedule an event for.
+    if (pendingCredits_.empty() &&
+        (!creditSink_->empty() ||
+         arrival <= now + params_.creditDirectPushHorizon)) {
+        creditSink_->push(arrival, vc);
+        return;
+    }
+    DVSNET_ASSERT(pendingCredits_.empty() ||
+                      arrival >= pendingCredits_.back().when,
+                  "batched credit arrivals must be monotone");
+    if (pendingCredits_.empty()) {
+        ++creditBursts_;
+        if (ctrCreditBursts_ != nullptr)
+            ++*ctrCreditBursts_;
+    }
+    pendingCredits_.push_back({arrival, vc});
+    if (creditFlushAt_ == kTickNever) {
+        creditFlushAt_ = arrival;
+        kernel_.at(arrival, [this] { flushCredits(); });
+    }
+}
+
+void
+DvsChannel::flushFlits()
+{
+    flitFlushAt_ = kTickNever;
+    if (pendingFlits_.empty())
+        return;
+    flitSink_->pushBatch(pendingFlits_);
+    pendingFlits_.clear();
+}
+
+void
+DvsChannel::flushCredits()
+{
+    creditFlushAt_ = kTickNever;
+    if (pendingCredits_.empty())
+        return;
+    creditSink_->pushBatch(pendingCredits_);
+    pendingCredits_.clear();
+}
+
+void
+DvsChannel::flushPending()
+{
+    // Splicing early is exactly what the unbatched channel did on every
+    // send (the inbox gates consumption on arrival ticks), so this is
+    // always safe.  A splice event already in flight simply finds its
+    // buffer empty, or flushes a younger batch a little early.
+    flushFlits();
+    flushCredits();
 }
 
 bool

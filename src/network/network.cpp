@@ -305,6 +305,7 @@ Network::markSourceActive(NodeId node)
     if (flag == 0) {
         flag = 1;
         activeSources_.push_back(node);
+        sourcesUnsorted_ = true;
     }
 }
 
@@ -337,7 +338,12 @@ Network::stepCycle()
     // non-empty queues).  Injection pushes wake the terminal router
     // into wokenRouters_ before the router pass merges it below.
     if (!activeSources_.empty()) {
-        std::sort(activeSources_.begin(), activeSources_.end());
+        // The compaction below preserves order, so the set only needs
+        // re-sorting when markSourceActive appended since the last edge.
+        if (sourcesUnsorted_) {
+            std::sort(activeSources_.begin(), activeSources_.end());
+            sourcesUnsorted_ = false;
+        }
         std::size_t kept = 0;
         for (const NodeId n : activeSources_) {
             injectFromQueue(n);
@@ -526,6 +532,14 @@ void
 Network::verifyFlowControlInvariants() const
 {
     SimAssert &inv = registry_.invariant("network.credit_conservation");
+
+    // Batched channels hold deliveries in channel-local buffers until
+    // their splice event fires; move them into the inboxes (arrival
+    // ticks unchanged — a semantic no-op) so the in-flight terms below
+    // count every flit and credit exactly once.
+    for (const auto &ch : channels_)
+        ch->flushPending();
+
     const auto perVcCapacity =
         config_.router.bufferPerPort /
         static_cast<std::size_t>(config_.router.numVcs);

@@ -247,6 +247,7 @@ class Network
     std::vector<NodeId> activeRouters_;  ///< stepped each cycle (sorted)
     std::vector<NodeId> wokenRouters_;   ///< joins the set next edge
     std::vector<NodeId> activeSources_;  ///< sources with queued packets
+    bool sourcesUnsorted_ = false;  ///< appended since the last edge sort
     std::vector<std::uint8_t> routerActive_;  ///< per-node membership flag
     std::vector<std::uint8_t> sourceActive_;  ///< per-node membership flag
 

@@ -156,9 +156,10 @@ SeparableSwitchAllocator::SeparableSwitchAllocator(PortId numPorts,
     }
     stageOne_.assign(static_cast<std::size_t>(numPorts), -1);
     vcReqMasks_.assign(static_cast<std::size_t>(numPorts), 0);
-    firstReqIdx_.assign(static_cast<std::size_t>(numPorts) *
-                            static_cast<std::size_t>(numVcs),
-                        -1);
+    outContenders_.assign(static_cast<std::size_t>(numPorts), 0);
+    outPortOf_.assign(static_cast<std::size_t>(numPorts) *
+                          static_cast<std::size_t>(numVcs),
+                      kInvalidId);
 }
 
 const std::vector<SwitchGrant> &
@@ -169,69 +170,83 @@ SeparableSwitchAllocator::allocate(
     if (requests.empty())
         return grants_;
 
-    // One pass over the requests builds, per input port, the bitmask of
-    // requesting VCs and the first request index per (port, vc) — the
-    // same winner the original inner scans would find.
-    std::fill(vcReqMasks_.begin(), vcReqMasks_.end(), 0u);
-    std::fill(firstReqIdx_.begin(), firstReqIdx_.end(), -1);
-    for (std::size_t i = 0; i < requests.size(); ++i) {
-        const auto &req = requests[i];
+    // Compatibility shim over the mask path: one pass over the requests
+    // builds the per-port VC masks and the output port per (port, vc) —
+    // the first request for a (port, vc) wins, matching the winner the
+    // original inner scans would find.
+    std::uint64_t reqPorts = 0;
+    for (const auto &req : requests) {
         DVSNET_ASSERT(req.inVc >= 0 && req.inVc < numVcs_,
                       "inVc out of range");
-        vcReqMasks_[static_cast<std::size_t>(req.inPort)] |=
-            1u << req.inVc;
-        auto &first = firstReqIdx_[static_cast<std::size_t>(req.inPort) *
-                                       static_cast<std::size_t>(numVcs_) +
-                                   static_cast<std::size_t>(req.inVc)];
-        if (first < 0)
-            first = static_cast<std::int32_t>(i);
+        const std::uint32_t bit = 1u << req.inVc;
+        auto &mask = vcReqMasks_[static_cast<std::size_t>(req.inPort)];
+        if ((reqPorts & (std::uint64_t{1} << req.inPort)) == 0) {
+            reqPorts |= std::uint64_t{1} << req.inPort;
+            mask = 0;  // first touch this call: clear stale bits
+        }
+        if ((mask & bit) == 0) {
+            mask |= bit;
+            outPortOf_[static_cast<std::size_t>(req.inPort) *
+                           static_cast<std::size_t>(numVcs_) +
+                       static_cast<std::size_t>(req.inVc)] = req.outPort;
+        }
     }
+    return allocateMasks(vcReqMasks_, outPortOf_, reqPorts);
+}
 
-    // Stage 1: each input port picks one of its requesting VCs.
-    // stageOne_[p] = index into `requests` of port p's winner, or -1.
-    for (PortId p = 0; p < numPorts_; ++p) {
-        stageOne_[static_cast<std::size_t>(p)] = -1;
+const std::vector<SwitchGrant> &
+SeparableSwitchAllocator::allocateMasks(
+    const std::vector<std::uint32_t> &vcReqMasks,
+    const std::vector<PortId> &outPorts, std::uint64_t reqPorts)
+{
+    grants_.clear();
+    if (reqPorts == 0)
+        return grants_;
+
+    // Stage 1: each requesting input port picks one of its VCs.
+    // stageOne_[p] = the winning VC, or -1.  The stage-2 contender set
+    // per output port is accumulated here (outContenders_ entries are
+    // cleared lazily on an output's first contender this call), so
+    // stage 2 never rescans the input ports.  Ports outside reqPorts
+    // are never read below, so stale scratch entries are harmless.
+    std::uint64_t outRequested = 0;  // output ports with any contender
+    std::uint64_t ports = reqPorts;
+    while (ports != 0) {
+        const PortId p = std::countr_zero(ports);
+        ports &= ports - 1;
         const std::uint32_t mask =
-            vcReqMasks_[static_cast<std::size_t>(p)];
-        if (mask == 0)
-            continue;
+            vcReqMasks[static_cast<std::size_t>(p)];
+        DVSNET_ASSERT(mask != 0, "requesting port without VC bits");
         const std::int32_t vcWin =
             inputStage_[static_cast<std::size_t>(p)].arbitrateMask(mask);
-        if (vcWin < 0)
-            continue;
-        stageOne_[static_cast<std::size_t>(p)] =
-            firstReqIdx_[static_cast<std::size_t>(p) *
+        stageOne_[static_cast<std::size_t>(p)] = vcWin;
+        if (vcWin >= 0) {
+            const PortId out =
+                outPorts[static_cast<std::size_t>(p) *
                              static_cast<std::size_t>(numVcs_) +
                          static_cast<std::size_t>(vcWin)];
+            const std::uint64_t outBit = std::uint64_t{1} << out;
+            if ((outRequested & outBit) == 0) {
+                outRequested |= outBit;
+                outContenders_[static_cast<std::size_t>(out)] = 0;
+            }
+            outContenders_[static_cast<std::size_t>(out)] |=
+                std::uint64_t{1} << p;
+        }
     }
 
-    // Stage 2: each output port picks one stage-1 winner targeting it.
-    std::uint64_t outRequested = 0;  // output ports with any contender
-    for (PortId p = 0; p < numPorts_; ++p) {
-        const std::int32_t idx = stageOne_[static_cast<std::size_t>(p)];
-        if (idx >= 0) {
-            outRequested |=
-                std::uint64_t{1}
-                << requests[static_cast<std::size_t>(idx)].outPort;
-        }
-    }
-    for (PortId out = 0; out < numPorts_; ++out) {
-        if ((outRequested & (std::uint64_t{1} << out)) == 0)
-            continue;
-        std::uint64_t portReqs = 0;
-        for (PortId p = 0; p < numPorts_; ++p) {
-            const std::int32_t idx = stageOne_[static_cast<std::size_t>(p)];
-            if (idx >= 0 &&
-                requests[static_cast<std::size_t>(idx)].outPort == out)
-                portReqs |= std::uint64_t{1} << p;
-        }
+    // Stage 2: each output port picks one stage-1 winner targeting it
+    // (ascending output-port order, as before).
+    while (outRequested != 0) {
+        const PortId out = std::countr_zero(outRequested);
+        outRequested &= outRequested - 1;
         const std::int32_t pWin =
             outputStage_[static_cast<std::size_t>(out)].arbitrateMask(
-                portReqs);
+                outContenders_[static_cast<std::size_t>(out)]);
         if (pWin >= 0) {
-            const auto &req = requests[static_cast<std::size_t>(
-                stageOne_[static_cast<std::size_t>(pWin)])];
-            grants_.push_back({req.inPort, req.inVc, req.outPort});
+            const std::int32_t vcWin =
+                stageOne_[static_cast<std::size_t>(pWin)];
+            grants_.push_back({pWin, vcWin, out});
         }
     }
     return grants_;

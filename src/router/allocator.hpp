@@ -115,6 +115,23 @@ class SeparableSwitchAllocator
     const std::vector<SwitchGrant> &
     allocate(const std::vector<SwitchRequest> &requests);
 
+    /**
+     * Mask-based hot path, fed directly from a router's activity masks
+     * with no request-vector construction: `vcReqMasks[p]` is the
+     * bitmask of requesting VCs at input port p, `outPorts[p*numVcs+v]`
+     * the requested output port per dense input VC (read only where the
+     * corresponding bit is set), and `reqPorts` the set of input ports
+     * with any request (entries of `vcReqMasks` outside it may be
+     * stale and are never read).  Each set (port, vc) bit is exactly
+     * one request; grants and arbiter-state evolution are identical to
+     * the request-vector overload on the equivalent request list
+     * (ascending port, vc order).
+     */
+    const std::vector<SwitchGrant> &
+    allocateMasks(const std::vector<std::uint32_t> &vcReqMasks,
+                  const std::vector<PortId> &outPorts,
+                  std::uint64_t reqPorts);
+
   private:
     PortId numPorts_;
     std::int32_t numVcs_;
@@ -122,9 +139,10 @@ class SeparableSwitchAllocator
     std::vector<RoundRobinArbiter> outputStage_;  ///< per output port
 
     // Scratch reused across invocations (hot path, no allocation).
-    std::vector<std::int32_t> stageOne_;
+    std::vector<std::int32_t> stageOne_;          ///< winning VC per port
     std::vector<std::uint32_t> vcReqMasks_;       ///< per input port
-    std::vector<std::int32_t> firstReqIdx_;       ///< per (port, vc)
+    std::vector<PortId> outPortOf_;               ///< per (port, vc)
+    std::vector<std::uint64_t> outContenders_;    ///< stage-2 input sets
     std::vector<SwitchGrant> grants_;             ///< returned
 };
 

@@ -34,14 +34,53 @@ template <typename T>
 class Inbox
 {
   public:
-    /** Push an item arriving at `when` (must be >= the previous push). */
+    /** One queued delivery: arrival tick + payload. */
+    struct Slot
+    {
+        Tick when;
+        T item;
+    };
+
+    /**
+     * Push an item arriving at `when` (must be >= the previous push).
+     *
+     * The wake hook fires only on an empty->non-empty transition: while
+     * the inbox is non-empty the owner's pending bit is already set (it
+     * is cleared only when a drain empties the queue), so the owner is
+     * guaranteed awake and a repeat wake would be a no-op.
+     */
     void
     push(Tick when, const T &item)
     {
         DVSNET_ASSERT(queue_.empty() || when >= queue_.back().when,
                       "inbox arrival times must be monotone");
+        const bool wasEmpty = empty();
         queue_.push_back(Slot{when, item});
-        if (wake_)
+        if (wasEmpty && wake_)
+            wake_();
+    }
+
+    /**
+     * Append a pre-ordered batch of deliveries with ONE wake at the end.
+     *
+     * This is the link-batching fast path: a DvsChannel accumulates a
+     * contiguous burst of flits (or credits) and hands the whole thing
+     * over in a single call, so the wake-hook chain (inbox -> router ->
+     * network active set) runs once per burst instead of once per flit.
+     * The batch must be internally monotone (the channel serializes, so
+     * it is by construction); only the splice boundary is re-checked.
+     */
+    void
+    pushBatch(const std::vector<Slot> &batch)
+    {
+        if (batch.empty())
+            return;
+        DVSNET_ASSERT(queue_.empty() ||
+                          batch.front().when >= queue_.back().when,
+                      "inbox batch arrival times must be monotone");
+        const bool wasEmpty = empty();
+        queue_.insert(queue_.end(), batch.begin(), batch.end());
+        if (wasEmpty && wake_)
             wake_();
     }
 
@@ -85,12 +124,6 @@ class Inbox
     }
 
   private:
-    struct Slot
-    {
-        Tick when;
-        T item;
-    };
-
     std::vector<Slot> queue_;  ///< [head_, size) = pending items
     std::size_t head_ = 0;     ///< drain cursor, reset on full drain
     InlineFn wake_;  ///< optional push notification (activity gating)

@@ -25,6 +25,12 @@ Router::Router(NodeId id, const RouterConfig &config,
                   "activity masks hold at most 64 input VCs");
 
     extraDelayTicks_ = cyclesToTicks(config.pipelineLatency - 2);
+    portVcMask_ = (std::uint64_t{1} << config.numVcs) - 1;
+    saReqMasks_.assign(static_cast<std::size_t>(config.numPorts), 0);
+    vcFreeMasks_.assign(static_cast<std::size_t>(config.numPorts), 0);
+    saOutPorts_.assign(static_cast<std::size_t>(config.numPorts) *
+                           static_cast<std::size_t>(config.numVcs),
+                       kInvalidId);
 
     inputs_.reserve(static_cast<std::size_t>(config.numPorts));
     outputs_.resize(static_cast<std::size_t>(config.numPorts));
@@ -59,6 +65,8 @@ Router::connectOutput(PortId port, FlitChannel *link,
     out.credits.assign(static_cast<std::size_t>(config_.numVcs),
                        downstreamVcCapacity);
     out.vcBusy.assign(static_cast<std::size_t>(config_.numVcs), false);
+    vcFreeMasks_[static_cast<std::size_t>(port)] =
+        static_cast<std::uint32_t>(portVcMask_);
     out.downstreamCapacity =
         downstreamVcCapacity * static_cast<std::size_t>(config_.numVcs);
     out.occupancy.start(0.0, 0.0);
@@ -88,11 +96,12 @@ bool
 Router::step(Tick now)
 {
     drainCredits(now);
-    drainFlits(now);
-    if (bufferedFlits_ != 0) {
+    drainFlitsAndBid(now);
+    if (saReqPorts_ != 0)
         // Reverse stage order: each allocation stage sees state produced
         // by the earlier pipeline stage one cycle ago.
-        switchAllocate(now);
+        applySwitchGrants(now);
+    if (bufferedFlits_ != 0) {
         vcAllocate();
         routeCompute();
     }
@@ -111,12 +120,20 @@ Router::drainCredits(Tick now)
         const PortId p = std::countr_zero(ports);
         ports &= ports - 1;
         auto &out = outputs_[static_cast<std::size_t>(p)];
+        // Batched drain: pop every due credit, then settle the
+        // occupancy average once.  Repeated updates at one timestamp
+        // contribute zero area, so a single update with the final
+        // occupancy is bit-identical to per-credit updates.
+        std::size_t popped = 0;
         while (out.creditInbox.ready(now)) {
             const VcId vc = out.creditInbox.pop(now);
             DVSNET_ASSERT(vc >= 0 && vc < config_.numVcs,
                           "credit VC out of range");
             ++out.credits[static_cast<std::size_t>(vc)];
-            out.occupancyNow -= 1.0;
+            ++popped;
+        }
+        if (popped != 0) {
+            out.occupancyNow -= static_cast<double>(popped);
             DVSNET_ASSERT(out.occupancyNow >= -0.5,
                           "credit accounting underflow");
             out.occupancy.update(nowCycles, out.occupancyNow);
@@ -128,71 +145,97 @@ Router::drainCredits(Tick now)
 }
 
 void
-Router::drainFlits(Tick now)
+Router::drainFlitsAndBid(Tick now)
 {
-    std::uint64_t ports = pendingFlitPorts_;
+    // One fused pass per port: drain its inbox, then collect its SA
+    // bids.  A port's bids depend only on its own VC buffers (drained
+    // first), output-port credit state (settled in drainCredits) and
+    // channel acceptance — none of which a later port's drain mutates —
+    // so the bids equal what a drain-everything-then-scan pass would
+    // produce, in the same ascending (port, vc) order.
+    saReqPorts_ = 0;
+    std::uint64_t ports = pendingFlitPorts_ | activeVcPorts_;
+    if (ports == 0)
+        return;
+    const Tick earliest = now + extraDelayTicks_;
+    // canAccept is const and queried with the same `earliest` for every
+    // bid this cycle, and nothing in this pass mutates channel state —
+    // so one probe per output port answers for all VCs targeting it.
+    std::uint64_t accProbed = 0;
+    std::uint64_t accYes = 0;
     while (ports != 0) {
         const PortId p = std::countr_zero(ports);
         ports &= ports - 1;
         auto &in = inputs_[static_cast<std::size_t>(p)];
-        while (in.flitInbox.ready(now)) {
-            Flit flit = in.flitInbox.pop(now);
-            DVSNET_ASSERT(flit.vc >= 0 && flit.vc < config_.numVcs,
-                          "flit VC out of range");
-            flit.arrived = now;
-            auto &vc = in.buffer.vc(flit.vc);
-            if (flit.isHead()) {
-                // A head either finds the VC idle or queues behind a
-                // previous packet still draining through the same VC.
-                if (vc.state() == VcState::Idle) {
-                    DVSNET_ASSERT(vc.empty(), "idle VC with residue");
-                    vc.setState(VcState::Routing);
-                    routingVcs_ |= std::uint64_t{1}
-                                   << vcIndex(p, flit.vc);
+        if (pendingFlitPorts_ & (std::uint64_t{1} << p)) {
+            while (in.flitInbox.ready(now)) {
+                Flit flit = in.flitInbox.pop(now);
+                DVSNET_ASSERT(flit.vc >= 0 && flit.vc < config_.numVcs,
+                              "flit VC out of range");
+                flit.arrived = now;
+                auto &vc = in.buffer.vc(flit.vc);
+                if (flit.isHead()) {
+                    // A head either finds the VC idle or queues behind a
+                    // previous packet still draining through the same VC.
+                    if (vc.state() == VcState::Idle) {
+                        DVSNET_ASSERT(vc.empty(), "idle VC with residue");
+                        vc.setState(VcState::Routing);
+                        routingVcs_ |= std::uint64_t{1}
+                                       << vcIndex(p, flit.vc);
+                    }
+                } else {
+                    DVSNET_ASSERT(vc.state() != VcState::Idle ||
+                                      !vc.empty(),
+                                  "body flit into idle empty VC");
                 }
-            } else {
-                DVSNET_ASSERT(vc.state() != VcState::Idle || !vc.empty(),
-                              "body flit into idle empty VC");
+                vc.enqueue(flit);
+                ++bufferedFlits_;
+                ++stats_.flitsArrived;
             }
-            vc.enqueue(flit);
-            ++bufferedFlits_;
-            ++stats_.flitsArrived;
+            // Keep the bit while future-dated flits remain in flight.
+            if (in.flitInbox.empty())
+                pendingFlitPorts_ &= ~(std::uint64_t{1} << p);
         }
-        // Keep the bit while future-dated flits remain in flight.
-        if (in.flitInbox.empty())
-            pendingFlitPorts_ &= ~(std::uint64_t{1} << p);
+
+        // SA bids from this port's Active VCs, ascending VC order.
+        std::uint32_t act = static_cast<std::uint32_t>(
+            (activeVcs_ >> (p * config_.numVcs)) & portVcMask_);
+        std::uint32_t bids = 0;
+        while (act != 0) {
+            const VcId v = std::countr_zero(act);
+            act &= act - 1;
+            auto &vc = in.buffer.vc(v);
+            if (vc.empty())
+                continue;  // Active but waiting for body flits
+            const PortId outPort = vc.outPort();
+            const auto &out = outputs_[static_cast<std::size_t>(outPort)];
+            DVSNET_ASSERT(out.link != nullptr, "unconnected output port");
+            if (out.credits[static_cast<std::size_t>(vc.outVc())] == 0)
+                continue;
+            const std::uint64_t outBit = std::uint64_t{1} << outPort;
+            if ((accProbed & outBit) == 0) {
+                accProbed |= outBit;
+                if (out.link->canAccept(earliest))
+                    accYes |= outBit;
+            }
+            if ((accYes & outBit) == 0)
+                continue;
+            bids |= 1u << v;
+            saOutPorts_[static_cast<std::size_t>(vcIndex(p, v))] =
+                vc.outPort();
+        }
+        if (bids != 0) {
+            saReqMasks_[static_cast<std::size_t>(p)] = bids;
+            saReqPorts_ |= std::uint64_t{1} << p;
+        }
     }
 }
 
 void
-Router::switchAllocate(Tick now)
+Router::applySwitchGrants(Tick now)
 {
-    swRequests_.clear();
-    const Tick earliest = now + extraDelayTicks_;
-
-    std::uint64_t active = activeVcs_;
-    while (active != 0) {
-        const std::int32_t idx = std::countr_zero(active);
-        active &= active - 1;
-        const PortId p = idx / config_.numVcs;
-        const VcId v = idx % config_.numVcs;
-        auto &in = inputs_[static_cast<std::size_t>(p)];
-        auto &vc = in.buffer.vc(v);
-        if (vc.empty())
-            continue;  // Active but waiting for body flits
-        const auto &out = outputs_[static_cast<std::size_t>(vc.outPort())];
-        DVSNET_ASSERT(out.link != nullptr, "unconnected output port");
-        if (out.credits[static_cast<std::size_t>(vc.outVc())] == 0)
-            continue;
-        if (!out.link->canAccept(earliest))
-            continue;
-        swRequests_.push_back({p, v, vc.outPort()});
-    }
-
-    if (swRequests_.empty())
-        return;
-
-    const auto &grants = swAlloc_.allocate(swRequests_);
+    const auto &grants =
+        swAlloc_.allocateMasks(saReqMasks_, saOutPorts_, saReqPorts_);
     const double nowCycles =
         static_cast<double>(now) / static_cast<double>(kRouterClockPeriod);
 
@@ -232,8 +275,13 @@ Router::switchAllocate(Tick now)
 
         if (flit.isTail()) {
             out.vcBusy[static_cast<std::size_t>(outVc)] = false;
+            vcFreeMasks_[static_cast<std::size_t>(g.outPort)] |=
+                1u << outVc;
             vc.release();
             activeVcs_ &= ~(std::uint64_t{1} << vcIndex(g.inPort, g.inVc));
+            if (((activeVcs_ >> (g.inPort * config_.numVcs)) &
+                 portVcMask_) == 0)
+                activeVcPorts_ &= ~(std::uint64_t{1} << g.inPort);
             // Another packet may already be queued behind the tail.
             if (!vc.empty()) {
                 DVSNET_ASSERT(vc.front().isHead(),
@@ -262,21 +310,10 @@ Router::vcAllocate()
         vcRequests_.push_back({idx, vc.outPort(), vc.vcMask()});
     }
 
-    // Free-VC bitmasks per output port (bit v = downstream VC v
-    // unallocated) — the allocator's hot-path interface.
-    vcFreeMasks_.resize(static_cast<std::size_t>(config_.numPorts));
-    for (PortId p = 0; p < config_.numPorts; ++p) {
-        const auto &out = outputs_[static_cast<std::size_t>(p)];
-        std::uint32_t mask = 0;
-        if (out.link != nullptr) {
-            for (VcId v = 0; v < config_.numVcs; ++v) {
-                if (!out.vcBusy[static_cast<std::size_t>(v)])
-                    mask |= 1u << v;
-            }
-        }
-        vcFreeMasks_[static_cast<std::size_t>(p)] = mask;
-    }
-
+    // vcFreeMasks_ (bit v = downstream VC v unallocated — the
+    // allocator's hot-path interface) is maintained incrementally at
+    // the two vcBusy mutation points: cleared on a VC grant below, set
+    // on tail release in applySwitchGrants.  Unconnected ports stay 0.
     for (const auto &g : vcAlloc_.allocate(vcRequests_, vcFreeMasks_)) {
         const PortId p = g.requester / config_.numVcs;
         const VcId v = g.requester % config_.numVcs;
@@ -286,8 +323,11 @@ Router::vcAllocate()
         vc.setState(VcState::Active);
         vcAllocVcs_ &= ~(std::uint64_t{1} << g.requester);
         activeVcs_ |= std::uint64_t{1} << g.requester;
+        activeVcPorts_ |= std::uint64_t{1} << p;
         outputs_[static_cast<std::size_t>(g.outPort)]
             .vcBusy[static_cast<std::size_t>(g.outVc)] = true;
+        vcFreeMasks_[static_cast<std::size_t>(g.outPort)] &=
+            ~(1u << g.outVc);
         ++stats_.vcGrants;
     }
 }

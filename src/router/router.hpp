@@ -178,8 +178,8 @@ class Router
     };
 
     void drainCredits(Tick now);
-    void drainFlits(Tick now);
-    void switchAllocate(Tick now);
+    void drainFlitsAndBid(Tick now);
+    void applySwitchGrants(Tick now);
     void vcAllocate();
     void routeCompute();
 
@@ -211,13 +211,27 @@ class Router
     std::uint64_t routingVcs_ = 0;   ///< VCs in VcState::Routing
     std::uint64_t vcAllocVcs_ = 0;   ///< VCs in VcState::VcAlloc
     std::uint64_t activeVcs_ = 0;    ///< VCs in VcState::Active
+    std::uint64_t activeVcPorts_ = 0;  ///< ports with any Active VC
+    std::uint64_t portVcMask_ = 0;     ///< low numVcs bits set
     InlineFn wake_;  ///< network-level wake, chained from inbox hooks
 
+    // Fused drain/SA scratch: drainFlitsAndBid fills the per-port VC
+    // request masks and per-VC target ports in the same pass that
+    // drains the inboxes; applySwitchGrants feeds them straight to the
+    // allocator's mask overload.  Entries outside saReqPorts_ are stale
+    // by design and never read.
+    std::vector<std::uint32_t> saReqMasks_;  ///< per input port
+    std::vector<PortId> saOutPorts_;         ///< per dense input VC
+    std::uint64_t saReqPorts_ = 0;           ///< ports with any SA bid
+
     // Scratch vectors reused across cycles to avoid allocation churn.
-    std::vector<SwitchRequest> swRequests_;
     std::vector<VcRequest> vcRequests_;
-    std::vector<std::uint32_t> vcFreeMasks_;
     std::vector<RouteCandidate> candidates_;
+
+    // Downstream free-VC bitmask per output port, maintained
+    // incrementally as vcBusy toggles (VC grant / tail release) so
+    // vcAllocate feeds the allocator without a rebuild scan.
+    std::vector<std::uint32_t> vcFreeMasks_;
 };
 
 } // namespace dvsnet::router

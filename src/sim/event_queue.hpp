@@ -10,9 +10,10 @@
  *
  * Performance: this is the hottest structure in the simulator, so it is
  * two-tiered.  Near-horizon events (link deliveries, clock edges,
- * controller windows) go into a bucketed time wheel — kNumBuckets
- * buckets of kBucketWidth ticks, each a small binary min-heap of 24-byte
- * POD keys, with an occupancy bitmap to find the next non-empty bucket.
+ * controller windows) go into a bucketed time wheel — a configurable
+ * number of fixed-width buckets (see EventQueueConfig), each a small
+ * binary min-heap of 24-byte POD keys, with an occupancy bitmap to find
+ * the next non-empty bucket.
  * Events beyond the wheel horizon (voltage ramps, long off-periods,
  * task lifetimes) overflow into a single binary heap, which is also the
  * always-correct fallback for events behind the wheel cursor.  Callbacks
@@ -42,6 +43,24 @@ namespace dvsnet::sim
  */
 using EventFn = InlineFn;
 
+/**
+ * Time-wheel geometry.  The defaults (64-tick buckets x 4096 buckets =
+ * a 262144-tick window) fit the simulator's event mix: one router cycle
+ * spans ~16 buckets, so clock edges, link deliveries and controller
+ * windows all land in the wheel while multi-ms DVS ramps overflow to
+ * the heap.  Exposed as a runtime knob so tests can sweep coarser and
+ * finer wheels (every geometry must preserve FIFO/cancel semantics) and
+ * deployments with different event horizons can retune.
+ */
+struct EventQueueConfig
+{
+    /** log2 of the bucket width in ticks. */
+    int bucketShift = 6;
+
+    /** Bucket count; a power of two and a multiple of 64. */
+    std::size_t numBuckets = 4096;
+};
+
 /** Two-tier (time wheel + overflow heap) event queue keyed by
  *  (tick, insertion sequence). */
 class EventQueue
@@ -53,7 +72,8 @@ class EventQueue
      */
     using EventId = std::uint64_t;
 
-    EventQueue();
+    EventQueue() : EventQueue(EventQueueConfig{}) {}
+    explicit EventQueue(const EventQueueConfig &config);
 
     /** Schedule `fn` at absolute tick `when`. Returns a cancel handle. */
     EventId schedule(Tick when, EventFn fn);
@@ -90,7 +110,10 @@ class EventQueue
     std::size_t overflowPending() const { return heap_.size(); }
 
     /** Width of the wheel's near-future window, in ticks. */
-    static constexpr Tick wheelHorizon();
+    Tick wheelHorizon() const { return wheelHorizon_; }
+
+    /** Geometry this queue was built with. */
+    const EventQueueConfig &config() const { return config_; }
 
   private:
     struct Key
@@ -110,15 +133,6 @@ class EventQueue
         EventFn fn;             ///< empty = cancelled (key still queued)
         std::uint32_t gen = 0;  ///< bumped when the slot is recycled
     };
-
-    /// 64-tick buckets: one router cycle spans ~16 buckets, so clock
-    /// edges, link deliveries, and controller windows (~200k ticks) all
-    /// land in the wheel while multi-ms DVS ramps overflow to the heap.
-    static constexpr int kBucketShift = 6;
-    static constexpr std::size_t kNumBuckets = 4096;
-    static constexpr Tick kBucketWidth = Tick{1} << kBucketShift;
-    static constexpr Tick kWheelHorizon = kBucketWidth * kNumBuckets;
-    static constexpr std::size_t kBitmapWords = kNumBuckets / 64;
 
     using Bucket = std::vector<Key>;
 
@@ -142,9 +156,17 @@ class EventQueue
     /** Return a slot to the free list after its key popped. */
     void recycle(std::uint32_t slot);
 
+    // Wheel geometry, fixed at construction (see EventQueueConfig).
+    EventQueueConfig config_;
+    int bucketShift_;
+    std::size_t numBuckets_;
+    Tick bucketWidth_;
+    Tick wheelHorizon_;
+    std::size_t bitmapWords_;
+
     std::vector<Bucket> buckets_;
-    std::array<std::uint64_t, kBitmapWords> occupied_{};
-    Tick wheelBase_ = 0;        ///< window start; multiple of kBucketWidth
+    std::vector<std::uint64_t> occupied_;
+    Tick wheelBase_ = 0;        ///< window start; multiple of bucketWidth_
     std::size_t cursorIdx_ = 0; ///< bucket index of wheelBase_
     std::size_t wheelKeys_ = 0; ///< pending keys (live + dead) in wheel
 
@@ -156,11 +178,5 @@ class EventQueue
     std::size_t liveCount_ = 0;
     std::uint64_t executed_ = 0;
 };
-
-constexpr Tick
-EventQueue::wheelHorizon()
-{
-    return kWheelHorizon;
-}
 
 } // namespace dvsnet::sim

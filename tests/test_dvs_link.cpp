@@ -80,6 +80,7 @@ TEST(DvsChannel, SendDeliversAfterSerializationAndPropagation)
     Harness h;
     const Tick dep = h.channel.send(someFlit(), 5000);
     EXPECT_EQ(dep, Tick{5000});
+    h.channel.flushPending();  // peek past the delivery batch
     EXPECT_EQ(h.flitSink.nextArrival(), Tick{5000 + 2 * 1000});
 }
 
@@ -102,6 +103,54 @@ TEST(DvsChannel, CanAcceptReflectsBacklog)
     EXPECT_TRUE(h.channel.canAccept(1000));
 }
 
+TEST(DvsChannel, BatchedDeliveriesSpliceViaKernelEvent)
+{
+    Harness h;
+    h.channel.send(someFlit(), 0);
+    h.channel.send(someFlit(), 0);
+    // Both deliveries sit in the channel until the splice event fires
+    // at the first pending arrival (0 + serialization + wire = 2000).
+    EXPECT_EQ(h.channel.pendingFlits(), 2u);
+    EXPECT_TRUE(h.flitSink.empty());
+    h.kernel.run(2000);
+    EXPECT_EQ(h.channel.pendingFlits(), 0u);
+    EXPECT_EQ(h.flitSink.size(), 2u);
+    EXPECT_EQ(h.flitSink.nextArrival(), Tick{2000});
+}
+
+TEST(DvsChannel, BurstSplitsOnGapAndLevelChange)
+{
+    Harness h;
+    h.channel.send(someFlit(), 0);  // starts burst 1
+    h.channel.send(someFlit(), 0);  // back-to-back: same burst
+    EXPECT_EQ(h.channel.flitBursts(), 1u);
+    h.channel.send(someFlit(), 5000);  // serialization gap: burst 2
+    EXPECT_EQ(h.channel.flitBursts(), 2u);
+
+    // A requestStep changes period_ mid-flight; the next send must
+    // open a new burst even though the channel never went idle.
+    ASSERT_TRUE(h.channel.requestStep(false, 6000));
+    const Tick lockEnd = 6000 + 100 * h.table.level(1).period;
+    h.kernel.run(lockEnd);  // functional again (voltage still ramping)
+    h.channel.send(someFlit(), lockEnd);
+    EXPECT_EQ(h.channel.flitBursts(), 3u);
+}
+
+TEST(DvsChannel, FlushPendingIsIdempotentAndKeepsArrivals)
+{
+    Harness h;
+    h.channel.send(someFlit(), 0);
+    h.channel.sendCredit(1, 0);
+    h.channel.flushPending();
+    EXPECT_EQ(h.channel.pendingFlits(), 0u);
+    EXPECT_EQ(h.channel.pendingCredits(), 0u);
+    EXPECT_EQ(h.flitSink.nextArrival(), Tick{2000});
+    EXPECT_EQ(h.creditSink.nextArrival(), Tick{2000});
+    h.channel.flushPending();  // no-op
+    EXPECT_EQ(h.flitSink.size(), 1u);
+    EXPECT_EQ(h.creditSink.size(), 1u);
+}
+
 TEST(DvsChannel, SlowLevelStretchesSerialization)
 {
     DvsLinkParams p;
@@ -109,6 +158,7 @@ TEST(DvsChannel, SlowLevelStretchesSerialization)
     Harness h(p);
     const Tick dep = h.channel.send(someFlit(), 0);
     EXPECT_EQ(dep, Tick{0});
+    h.channel.flushPending();
     // 8000 serialization + 1000 fixed wire flight.
     EXPECT_EQ(h.flitSink.nextArrival(), Tick{9000});
     EXPECT_EQ(h.channel.send(someFlit(), 0), Tick{8000});
@@ -118,6 +168,7 @@ TEST(DvsChannel, CreditTakesOneLinkCycle)
 {
     Harness h;
     h.channel.sendCredit(0, 500);
+    h.channel.flushPending();
     EXPECT_EQ(h.creditSink.nextArrival(), Tick{2500});  // cycle + wire
 }
 
@@ -206,6 +257,7 @@ TEST(DvsChannel, CreditsStallDuringLock)
     h.channel.requestStep(false, 0);  // lock [0, 100 * period(1))
     const Tick lockEnd = 100 * h.table.level(1).period;
     h.channel.sendCredit(0, 10);
+    h.channel.flushPending();
     EXPECT_EQ(h.creditSink.nextArrival(),
               lockEnd + h.table.level(1).period + kRouterClockPeriod);
 }

@@ -1,0 +1,353 @@
+/**
+ * @file
+ * Randomized equivalence test for the DVS channel's delivery batching.
+ *
+ * A reference model re-implements the channel's *per-flit* semantics
+ * independently: departures, arrival ticks, credit stalling, the
+ * transition state machine's timing, busy-tick accounting and the
+ * utilization-window formula, all computed directly from the parameters
+ * with no pending buffers or splice events.  Random operation sequences
+ * (send bursts, credits, speed/slow steps, window checkpoints, stray
+ * flushPending calls) are applied to both; every externally observable
+ * quantity must match exactly:
+ *
+ *  - per-flit departure ticks returned by send();
+ *  - the (arrival tick, payload) sequence each sink receives, in order;
+ *  - canAccept() at every operation time;
+ *  - takeUtilizationWindow() values, bit-for-bit;
+ *  - flitsSent / transitions / disabledTime counters.
+ *
+ * Trials randomize the initial level, the voltage-transition latency
+ * and the credit direct-push horizon (including 0 and effectively
+ * infinite) — the batching policy knobs must never change semantics,
+ * only when the inbox physically receives items.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "link/dvs_link.hpp"
+#include "sim/kernel.hpp"
+
+using dvsnet::Cycle;
+using dvsnet::kRouterClockPeriod;
+using dvsnet::kTickNever;
+using dvsnet::Tick;
+using dvsnet::VcId;
+using dvsnet::link::DvsChannel;
+using dvsnet::link::DvsLevelTable;
+using dvsnet::link::DvsLinkParams;
+using dvsnet::router::Flit;
+using dvsnet::router::Inbox;
+using dvsnet::sim::Kernel;
+
+namespace
+{
+
+/**
+ * Per-flit reference model of DvsChannel.  Transition phases are
+ * tracked as explicit scheduled boundaries applied by advanceTo(), in
+ * the order they were created (a speed-up's lock start precedes its
+ * lock end precedes a ramp-down end), which mirrors the kernel-event
+ * chain of the real channel exactly.
+ */
+struct RefChannel
+{
+    enum class St
+    {
+        Stable,
+        VoltRampUp,
+        FreqLock,
+        VoltRampDown
+    };
+
+    const DvsLevelTable &table;
+    Tick voltLat;
+    Cycle freqCycles;
+    Tick prop;
+
+    St st = St::Stable;
+    std::size_t level;
+    std::size_t prevLevel;
+    Tick period;
+    Tick nextFree = 0;
+    Tick disabledUntil = 0;
+
+    Tick windowStart = 0;
+    Tick busyTicks = 0;
+    Tick disabledInWindow = 0;
+    Tick disabledTime = 0;
+    std::uint64_t flitsSent = 0;
+    std::uint64_t transitions = 0;
+
+    Tick lockStartAt = kTickNever;    ///< speed-up: voltage ramp end
+    Tick lockEndAt = kTickNever;      ///< link functional again
+    Tick rampDownEndAt = kTickNever;  ///< slow-down: voltage settled
+
+    RefChannel(const DvsLevelTable &t, const DvsLinkParams &p)
+        : table(t),
+          voltLat(p.voltageTransitionLatency),
+          freqCycles(p.freqTransitionLinkCycles),
+          prop(p.propagationDelay),
+          level(p.initialLevel),
+          prevLevel(p.initialLevel),
+          period(t.level(p.initialLevel).period)
+    {}
+
+    void
+    advanceTo(Tick t)
+    {
+        if (lockStartAt != kTickNever && lockStartAt <= t) {
+            const Tick at = lockStartAt;
+            lockStartAt = kTickNever;
+            beginLock(at);
+        }
+        if (lockEndAt != kTickNever && lockEndAt <= t) {
+            const Tick at = lockEndAt;
+            lockEndAt = kTickNever;
+            if (level < prevLevel) {
+                st = St::Stable;
+                ++transitions;
+            } else {
+                st = St::VoltRampDown;
+                rampDownEndAt = at + voltLat;
+            }
+        }
+        if (rampDownEndAt != kTickNever && rampDownEndAt <= t) {
+            rampDownEndAt = kTickNever;
+            st = St::Stable;
+            ++transitions;
+        }
+    }
+
+    void
+    beginLock(Tick now)
+    {
+        st = St::FreqLock;
+        period = table.level(level).period;
+        const Tick lockEnd =
+            now + static_cast<Tick>(freqCycles) * period;
+        disabledUntil = lockEnd;
+        disabledTime += lockEnd - now;
+        disabledInWindow += lockEnd - now;
+        nextFree = std::max(nextFree, lockEnd);
+        lockEndAt = lockEnd;
+    }
+
+    bool
+    requestStep(bool faster, Tick now)
+    {
+        if (st != St::Stable || (faster && level == table.fastest()) ||
+            (!faster && level == table.slowest()))
+            return false;
+        prevLevel = level;
+        level = faster ? level - 1 : level + 1;
+        if (faster) {
+            // Voltage ramps first; the lock starts when it settles.
+            st = St::VoltRampUp;
+            lockStartAt = now + voltLat;
+        } else {
+            beginLock(now);
+        }
+        return true;
+    }
+
+    bool
+    canAccept(Tick earliest) const
+    {
+        if (st == St::FreqLock)
+            return false;
+        return std::max(nextFree, earliest) <= earliest + period;
+    }
+
+    Tick
+    send(Tick earliest, std::vector<Tick> &arrivals)
+    {
+        const Tick departure = std::max(nextFree, earliest);
+        nextFree = departure + period;
+        busyTicks += period;
+        ++flitsSent;
+        arrivals.push_back(departure + period + prop);
+        return departure;
+    }
+
+    void
+    sendCredit(VcId vc, Tick now,
+               std::vector<std::pair<Tick, VcId>> &arrivals)
+    {
+        arrivals.emplace_back(std::max(now, disabledUntil) + period + prop,
+                              vc);
+    }
+
+    double
+    takeUtilizationWindow(Tick now)
+    {
+        const Tick span = now - windowStart;
+        Tick disabled = disabledInWindow;
+        if (disabledUntil > now)
+            disabled -= disabledUntil - now;
+        double util = 0.0;
+        if (span > disabled) {
+            util = static_cast<double>(busyTicks) /
+                   static_cast<double>(span - disabled);
+            util = std::min(util, 1.0);
+        }
+        windowStart = now;
+        busyTicks = 0;
+        disabledInWindow = disabledUntil > now ? disabledUntil - now : 0;
+        return util;
+    }
+};
+
+/** One randomized trial driving channel and reference in lockstep. */
+void
+runTrial(std::uint64_t seed, const DvsLinkParams &params, int numOps)
+{
+    SCOPED_TRACE(::testing::Message()
+                 << "seed=" << seed << " initialLevel="
+                 << params.initialLevel << " creditHorizon="
+                 << params.creditDirectPushHorizon << " voltLat="
+                 << params.voltageTransitionLatency);
+
+    Kernel kernel;
+    DvsLevelTable table = DvsLevelTable::standard10();
+    Inbox<Flit> flitSink;
+    Inbox<VcId> creditSink;
+    DvsChannel channel(kernel, 0, table, params, nullptr);
+    channel.connectFlitSink(&flitSink);
+    channel.connectCreditSink(&creditSink);
+
+    RefChannel ref(table, params);
+
+    std::mt19937_64 rng(seed);
+    std::uniform_int_distribution<int> opDist(0, 99);
+    std::uniform_int_distribution<Tick> gapDist(0, 20000);
+    std::uniform_int_distribution<int> burstDist(1, 8);
+    std::uniform_int_distribution<int> vcDist(0, 3);
+
+    std::vector<Tick> refFlitArrivals;
+    std::vector<std::uint64_t> refFlitIds;
+    std::vector<std::pair<Tick, VcId>> refCreditArrivals;
+    std::uint64_t nextFlitId = 1;
+
+    Tick t = 0;
+    for (int op = 0; op < numOps; ++op) {
+        // Occasionally stay on the same tick to get same-time op mixes.
+        if (opDist(rng) >= 10)
+            t += gapDist(rng);
+        kernel.run(t);
+        ref.advanceTo(t);
+
+        ASSERT_EQ(channel.currentPeriod(), ref.period);
+        ASSERT_EQ(channel.canAccept(t), ref.canAccept(t));
+
+        const int kind = opDist(rng);
+        if (kind < 45) {
+            // Burst of flits (skipped while the link is locking — the
+            // router never sends into a disabled link).
+            if (ref.st == RefChannel::St::FreqLock)
+                continue;
+            const int count = burstDist(rng);
+            for (int i = 0; i < count; ++i) {
+                Flit f;
+                f.packet = nextFlitId;
+                f.packetLen = 1;
+                f.vc = 0;
+                refFlitIds.push_back(nextFlitId);
+                ++nextFlitId;
+                const Tick dep = channel.send(f, t);
+                const Tick refDep = ref.send(t, refFlitArrivals);
+                ASSERT_EQ(dep, refDep);
+            }
+        } else if (kind < 75) {
+            const VcId vc = vcDist(rng);
+            channel.sendCredit(vc, t);
+            ref.sendCredit(vc, t, refCreditArrivals);
+        } else if (kind < 87) {
+            const bool faster = (rng() & 1) != 0;
+            const bool accepted = channel.requestStep(faster, t);
+            ASSERT_EQ(accepted, ref.requestStep(faster, t));
+        } else if (kind < 95) {
+            const double got = channel.takeUtilizationWindow(t);
+            const double want = ref.takeUtilizationWindow(t);
+            ASSERT_EQ(got, want);  // same formula, bit-for-bit
+        } else {
+            // Early splice is always a semantic no-op.
+            channel.flushPending();
+        }
+    }
+
+    // Let every transition and splice event complete, then drain the
+    // sinks against the reference arrival sequences.
+    kernel.run();
+    ref.advanceTo(kTickNever);  // apply the in-flight transition chain
+    channel.flushPending();
+    ASSERT_EQ(channel.pendingFlits(), 0u);
+    ASSERT_EQ(channel.pendingCredits(), 0u);
+
+    ASSERT_EQ(flitSink.size(), refFlitArrivals.size());
+    for (std::size_t i = 0; i < refFlitArrivals.size(); ++i) {
+        ASSERT_EQ(flitSink.nextArrival(), refFlitArrivals[i])
+            << "flit " << i;
+        const Flit got = flitSink.pop(refFlitArrivals[i]);
+        ASSERT_EQ(got.packet, refFlitIds[i]) << "flit " << i;
+    }
+    EXPECT_TRUE(flitSink.empty());
+
+    ASSERT_EQ(creditSink.size(), refCreditArrivals.size());
+    for (std::size_t i = 0; i < refCreditArrivals.size(); ++i) {
+        ASSERT_EQ(creditSink.nextArrival(), refCreditArrivals[i].first)
+            << "credit " << i;
+        const VcId got = creditSink.pop(refCreditArrivals[i].first);
+        ASSERT_EQ(got, refCreditArrivals[i].second) << "credit " << i;
+    }
+    EXPECT_TRUE(creditSink.empty());
+
+    EXPECT_EQ(channel.flitsSent(), ref.flitsSent);
+    EXPECT_EQ(channel.transitions(), ref.transitions);
+    EXPECT_EQ(channel.disabledTime(), ref.disabledTime);
+}
+
+} // namespace
+
+TEST(DvsLinkBatching, MatchesPerFlitReferenceAcrossRandomTrials)
+{
+    // Short voltage ramps pack many full transitions (and the lock
+    // windows between them) into each trial.
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        DvsLinkParams p;
+        p.voltageTransitionLatency = dvsnet::secondsToTicks(1e-6);
+        p.initialLevel = static_cast<std::size_t>(seed % 10);
+        runTrial(seed, p, 400);
+    }
+}
+
+TEST(DvsLinkBatching, MatchesReferenceWithDefaultTransitionLatency)
+{
+    for (std::uint64_t seed = 100; seed < 103; ++seed) {
+        DvsLinkParams p;
+        p.initialLevel = 9;  // slow start: long serialization, big leads
+        runTrial(seed, p, 300);
+    }
+}
+
+TEST(DvsLinkBatching, PushPolicyKnobDoesNotChangeSemantics)
+{
+    // Horizon 0 forces every empty-sink credit through the batch/event
+    // path; a huge horizon forces them all through the direct push.
+    const Tick horizons[] = {0, 4 * kRouterClockPeriod,
+                             Tick{1} << 40};
+    for (const Tick h : horizons) {
+        for (std::uint64_t seed = 200; seed < 204; ++seed) {
+            DvsLinkParams p;
+            p.voltageTransitionLatency = dvsnet::secondsToTicks(1e-6);
+            p.creditDirectPushHorizon = h;
+            p.initialLevel = 5;
+            runTrial(seed, p, 300);
+        }
+    }
+}

@@ -53,6 +53,25 @@ goldenSpec(PolicyKind policy)
 constexpr double kInjectionRate = 0.2;
 constexpr double kRelTol = 1e-9;
 
+/**
+ * Near-saturation congestion golden: minimal-adaptive routing plus the
+ * dynamic-threshold policy, driven hard enough (rate 0.5 -> offered
+ * ~0.82 pkts/cycle on a 4x4 mesh) that source queues back up, adaptive
+ * route choices contend, and credit backpressure stays engaged through
+ * the whole measurement window.  This freezes the congestion path —
+ * the part of the hot loop most sensitive to event-order changes —
+ * before/after serialization-batching rewrites.
+ */
+ExperimentSpec
+adaptiveSaturationSpec()
+{
+    ExperimentSpec spec = goldenSpec(PolicyKind::DynamicThreshold);
+    spec.network.routing = dvsnet::network::RoutingKind::MinimalAdaptive;
+    return spec;
+}
+
+constexpr double kSaturationRate = 0.5;
+
 void
 expectNearRel(double actual, double expected, const char *what)
 {
@@ -108,6 +127,41 @@ TEST(GoldenRun, NoDvs4x4MeshPinnedReferencePoint)
     expectNearRel(r.normalizedPower, 1.0, "normalized power");
     expectNearRel(r.avgChannelLevel, 0.0, "avg channel level");
     EXPECT_EQ(r.transitionEnergyJ, 0.0);
+    EXPECT_GT(r.invariantChecks, 0u);
+    EXPECT_EQ(r.invariantFailures, 0u);
+}
+
+TEST(GoldenRun, AdaptiveDynamicThresholdNearSaturationPinnedResults)
+{
+    const RunResults r = dvsnet::exp::runPoint(adaptiveSaturationSpec(),
+                                               kSaturationRate, kGoldenSeed);
+
+    // Exact integer pins.  packetsDelivered << packetsCreated is the
+    // point: the run is past the latency knee, so the congestion
+    // machinery (credit stalls, adaptive misroutes, source-queue
+    // backlog) is actually exercised.
+    EXPECT_EQ(r.measuredCycles, 12000u);
+    EXPECT_EQ(r.packetsCreated, 9829u);
+    EXPECT_EQ(r.packetsDelivered, 7037u);
+    EXPECT_EQ(r.flitsEjected, 39104u);
+
+    expectNearRel(r.offeredLoadPktsPerCycle, 0.81908333333333339,
+                  "offered load");
+    expectNearRel(r.throughputPktsPerCycle, 0.65166666666666662,
+                  "throughput pkts");
+    expectNearRel(r.throughputFlitsPerCycle, 3.2586666666666666,
+                  "throughput flits");
+    expectNearRel(r.avgLatencyCycles, 888.49777859883375, "avg latency");
+    expectNearRel(r.maxLatencyCycles, 10378.069, "max latency");
+    expectNearRel(r.avgPowerW, 49.060504591617971, "avg power");
+    expectNearRel(r.normalizedPower, 0.63880865353669225,
+                  "normalized power");
+    expectNearRel(r.savingsFactor, 1.5654139850229212, "savings factor");
+    expectNearRel(r.transitionEnergyJ, 3.0324467491091963e-05,
+                  "transition energy");
+    expectNearRel(r.avgChannelLevel, 1.7083333333333333,
+                  "avg channel level");
+
     EXPECT_GT(r.invariantChecks, 0u);
     EXPECT_EQ(r.invariantFailures, 0u);
 }
