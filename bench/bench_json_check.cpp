@@ -223,6 +223,36 @@ validate(const Json &root)
     const Json &results = require(root, "results", "array");
     if (results.size() == 0)
         fail("results array is empty");
+
+    // Optional typed fields introduced with the workload subsystem.
+    // "workload" is the bench's --workload spec string ("default" when
+    // unset); bench_micro's hand-rolled artifact predates it, so it is
+    // typed-if-present rather than required.
+    if (const Json *workload = root.find("workload")) {
+        if (!workload->isString())
+            fail("key 'workload' must be a string");
+        if (workload->asString().empty())
+            fail("key 'workload' must not be empty");
+    }
+    // Known typed result entries: trace_files rows (bench_trace_replay)
+    // must carry the full size-comparison record.
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const Json &entry = results.at(i);
+        if (!entry.isObject())
+            continue;
+        const Json *type = entry.find("type");
+        if (!type || !type->isString() ||
+            type->asString() != "trace_files")
+            continue;
+        for (const char *key : {"entries", "csv_bytes", "binary_bytes",
+                                "compression_vs_csv"}) {
+            const Json *v = entry.find(key);
+            if (!v || !v->isNumber()) {
+                fail(std::string("trace_files result missing numeric '") +
+                     key + "'");
+            }
+        }
+    }
 }
 
 } // namespace

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Trace record -> binary/CSV round-trip -> replay, on the paper's 8x8
+ * mesh.
+ *
+ * Records a live workload run into a packet trace, writes it in both
+ * on-disk formats, replays each through an identically configured
+ * network, and verifies the replays are bit-identical to each other and
+ * packet-for-packet identical to the live run — the property that makes
+ * traces usable for policy comparisons under *literally* the same
+ * packet sequence, not merely the same seed.  A fourth run replays the
+ * binary trace under history-DVS to demonstrate exactly that.
+ *
+ * Also reports the binary format's size advantage (varint-delta
+ * entries vs CSV text).
+ *
+ * `--workload <spec>` selects what gets recorded (default: the paper's
+ * two-level model); `rate=R` sets the target injection rate.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "bench_util.hpp"
+#include "common/fatal.hpp"
+#include "traffic/trace.hpp"
+#include "workload/factory.hpp"
+#include "workload/trace_binary.hpp"
+
+using namespace dvsnet;
+
+namespace
+{
+
+/** One measured replay run; asserts nothing, just executes. */
+network::RunResults
+runReplay(const network::ExperimentSpec &spec,
+          traffic::TrafficGenerator &generator)
+{
+    network::Network net(spec.network);
+    net.attachTraffic(generator);
+    return net.run(spec.warmup, spec.measure);
+}
+
+/**
+ * Packet-for-packet agreement with the live run: every count exact;
+ * the latency mean within accumulation rounding.  (Two same-cycle
+ * completions with symmetric paths can swap Welford-add order between
+ * a live run and a replay, perturbing the mean by ~1 ulp while every
+ * packet's latency — and so every count and sum — is unchanged.)
+ */
+void
+expectSamePackets(const char *what, const network::RunResults &a,
+                  const network::RunResults &b)
+{
+    const double latencyDrift =
+        std::abs(a.avgLatencyCycles - b.avgLatencyCycles);
+    if (a.packetsCreated != b.packetsCreated ||
+        a.packetsDelivered != b.packetsDelivered ||
+        a.flitsEjected != b.flitsEjected ||
+        a.throughputPktsPerCycle != b.throughputPktsPerCycle ||
+        latencyDrift > 1e-9 * (1.0 + a.avgLatencyCycles)) {
+        DVSNET_FATAL(what,
+                     " replay diverged from the recorded run: created ",
+                     b.packetsCreated, " vs ", a.packetsCreated,
+                     ", delivered ", b.packetsDelivered, " vs ",
+                     a.packetsDelivered, ", avg latency ",
+                     b.avgLatencyCycles, " vs ", a.avgLatencyCycles);
+    }
+}
+
+/** The two replay paths must agree to the last bit. */
+void
+expectBitIdentical(const network::RunResults &a,
+                   const network::RunResults &b)
+{
+    if (a.packetsCreated != b.packetsCreated ||
+        a.packetsDelivered != b.packetsDelivered ||
+        a.flitsEjected != b.flitsEjected ||
+        a.avgLatencyCycles != b.avgLatencyCycles ||
+        a.maxLatencyCycles != b.maxLatencyCycles ||
+        a.throughputPktsPerCycle != b.throughputPktsPerCycle ||
+        a.avgPowerW != b.avgPowerW) {
+        DVSNET_FATAL("CSV and binary replays diverged: avg latency ",
+                     a.avgLatencyCycles, " vs ", b.avgLatencyCycles,
+                     ", delivered ", a.packetsDelivered, " vs ",
+                     b.packetsDelivered);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = bench::parseOptions(argc, argv);
+    bench::printHeader("Trace replay",
+                       "record -> CSV/binary round-trip -> lockstep "
+                       "replay, 8x8 mesh",
+                       opts);
+
+    network::ExperimentSpec spec = bench::paperSpec(opts);
+    spec.network.policy = network::PolicyKind::None;
+    spec.warmup = opts.lightWarmup;
+    const double rate = opts.raw.getDouble("rate", 1.0);
+
+    const std::string prefix =
+        opts.raw.getString("trace_prefix", "bench_trace_replay");
+    const std::string csvPath = prefix + ".trace.csv";
+    const std::string dvstPath = prefix + ".trace.dvst";
+
+    // 1. Record a live run.
+    traffic::Trace trace;
+    network::RunResults original;
+    NodeId numNodes = 0;
+    {
+        network::Network net(spec.network);
+        numNodes = net.topology().numNodes();
+        workload::WorkloadContext context{net.topology(), rate, opts.seed,
+                                          spec.workload};
+        const auto generator =
+            workload::buildWorkload(spec.workloadSpec, context);
+        traffic::TraceRecorder recorder(*generator);
+        net.attachTraffic(recorder);
+        original = net.run(spec.warmup, spec.measure);
+        trace = recorder.trace();
+    }
+    if (trace.empty())
+        DVSNET_FATAL("recorded run generated no packets");
+
+    // 2. Both on-disk forms.
+    trace.save(csvPath);
+    workload::saveBinaryTrace(trace, dvstPath,
+                              static_cast<std::uint32_t>(numNodes));
+    const auto csvBytes = std::filesystem::file_size(csvPath);
+    const auto dvstBytes = std::filesystem::file_size(dvstPath);
+
+    // 3. Replay each format through an identical network; all three
+    // runs must agree packet-for-packet.
+    traffic::TraceTraffic csvReplay(traffic::Trace::load(csvPath,
+                                                         numNodes));
+    const auto csvResults = runReplay(spec, csvReplay);
+    expectSamePackets("CSV", original, csvResults);
+
+    workload::BinaryTraceReplay binaryReplay(dvstPath);
+    const auto binaryResults = runReplay(spec, binaryReplay);
+    expectSamePackets("binary", original, binaryResults);
+    expectBitIdentical(csvResults, binaryResults);
+
+    // 4. The payoff: the same packets under history-DVS.
+    network::ExperimentSpec dvsSpec = spec;
+    dvsSpec.network.policy = network::PolicyKind::History;
+    workload::BinaryTraceReplay dvsReplay(dvstPath);
+    const auto dvsResults = runReplay(dvsSpec, dvsReplay);
+
+    const struct
+    {
+        const char *label;
+        const network::RunResults *results;
+    } runs[] = {{"recorded (live workload)", &original},
+                {"CSV replay", &csvResults},
+                {"binary replay", &binaryResults},
+                {"binary replay + history-DVS", &dvsResults}};
+    Table t({"run", "delivered", "avg lat", "thr", "norm power"});
+    for (const auto &run : runs) {
+        const auto &r = *run.results;
+        t.addRow({run.label, std::to_string(r.packetsDelivered),
+                  Table::num(r.avgLatencyCycles, 2),
+                  Table::num(r.throughputPktsPerCycle, 3),
+                  Table::num(r.normalizedPower, 3)});
+        Json entry = Json::object();
+        entry["type"] = Json("point");
+        entry["label"] = Json(run.label);
+        entry["result"] = network::toJson(r);
+        bench::recordResult(std::move(entry));
+    }
+    bench::printTable(t, opts);
+
+    const double bytesPerEntryCsv =
+        static_cast<double>(csvBytes) / static_cast<double>(trace.size());
+    const double bytesPerEntryBin =
+        static_cast<double>(dvstBytes) / static_cast<double>(trace.size());
+    Table f({"format", "bytes", "bytes/entry", "vs CSV"});
+    f.addRow({"CSV", std::to_string(csvBytes),
+              Table::num(bytesPerEntryCsv, 2), "1.00x"});
+    f.addRow({"binary (.dvst)", std::to_string(dvstBytes),
+              Table::num(bytesPerEntryBin, 2),
+              Table::num(static_cast<double>(csvBytes) /
+                             static_cast<double>(dvstBytes),
+                         2) +
+                  "x"});
+    std::printf("\ntrace: %zu entries\n", trace.size());
+    bench::printTable(f, opts);
+
+    Json files = Json::object();
+    files["type"] = Json("trace_files");
+    files["entries"] = Json(static_cast<std::uint64_t>(trace.size()));
+    files["csv_bytes"] = Json(static_cast<std::uint64_t>(csvBytes));
+    files["binary_bytes"] = Json(static_cast<std::uint64_t>(dvstBytes));
+    files["compression_vs_csv"] = Json(static_cast<double>(csvBytes) /
+                                       static_cast<double>(dvstBytes));
+    bench::recordResult(std::move(files));
+
+    bench::finishReport(opts);
+    return 0;
+}

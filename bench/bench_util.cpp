@@ -7,6 +7,7 @@
 
 #include "common/fatal.hpp"
 #include "common/json.hpp"
+#include "workload/factory.hpp"
 
 #ifndef DVSNET_GIT_DESCRIBE
 #define DVSNET_GIT_DESCRIBE "unknown"
@@ -82,6 +83,13 @@ parseOptions(int argc, char **argv)
     opts.threads =
         static_cast<std::size_t>(opts.raw.getIntEnv("threads", 0));
     opts.jsonPath = opts.raw.getString("json", "");
+    opts.workload = opts.raw.getString("workload", "");
+    if (!opts.workload.empty()) {
+        const auto problems =
+            workload::validateWorkloadSpec(opts.workload);
+        if (!problems.empty())
+            DVSNET_FATAL(joinProblems("invalid --workload", problems));
+    }
     return opts;
 }
 
@@ -186,6 +194,8 @@ paperSpec(const BenchOptions &opts)
     spec.workload.sourcesPerTask = static_cast<std::int32_t>(
         opts.raw.getInt("sources", opts.quick ? 16 : 128));
     spec.workload.seed = opts.seed;
+    if (!opts.workload.empty())
+        spec.workloadSpec = opts.workload;
     spec.warmup = opts.warmup;
     spec.measure = opts.measure;
     return spec;
@@ -217,6 +227,9 @@ printHeader(const std::string &figure, const std::string &what,
     root["threads"] = Json(static_cast<std::uint64_t>(
         exp::resolveThreadCount(opts.threads)));
     root["quick"] = Json(opts.quick);
+    root["workload"] =
+        Json(opts.workload.empty() ? std::string("default")
+                                   : opts.workload);
     root["warmup_cycles"] = Json(static_cast<std::uint64_t>(opts.warmup));
     root["light_warmup_cycles"] =
         Json(static_cast<std::uint64_t>(opts.lightWarmup));

@@ -60,6 +60,11 @@ struct BenchOptions
      *  empty = no artifact). */
     std::string jsonPath;
 
+    /** Workload selector (`--workload <name>[:key=val,...]` against the
+     *  workload::WorkloadFactory registry); empty keeps each bench's
+     *  default.  paperSpec() applies it, so every bench accepts it. */
+    std::string workload;
+
     /** Binary name (argv[0] basename), echoed into the artifact. */
     std::string binaryName;
 

@@ -7,7 +7,7 @@
 #include "common/fatal.hpp"
 #include "common/rng.hpp"
 #include "network/network.hpp"
-#include "traffic/task_model.hpp"
+#include "workload/factory.hpp"
 
 namespace dvsnet::exp
 {
@@ -50,11 +50,11 @@ runPoint(const network::ExperimentSpec &spec, double injectionRate,
         throw ConfigError(joinProblems("invalid experiment", problems));
 
     network::Network net(spec.network);
-    traffic::TwoLevelParams wl = spec.workload;
-    wl.networkInjectionRate = injectionRate;
-    wl.seed = seed;
-    traffic::TwoLevelWorkload workload(net.topology(), wl);
-    net.attachTraffic(workload);
+    workload::WorkloadContext context{net.topology(), injectionRate, seed,
+                                      spec.workload};
+    const auto generator =
+        workload::buildWorkload(spec.workloadSpec, context);
+    net.attachTraffic(*generator);
     return net.run(spec.warmup, spec.measure);
 }
 

@@ -261,14 +261,31 @@ Network::makePolicy() const
 void
 Network::attachTraffic(traffic::TrafficGenerator &generator)
 {
-    generator.start(kernel_, [this](NodeId src, NodeId dst) {
-        injectPacket(src, dst);
-    });
+    if (generator.wantsDeliveries()) {
+        setDeliveryHook([&generator](const traffic::PacketRequest &req,
+                                     Tick arrival) {
+            generator.onDelivered(req, arrival);
+        });
+    }
+    generator.start(kernel_,
+                    [this](const traffic::PacketRequest &request) {
+                        injectPacket(request);
+                    });
 }
 
 void
-Network::injectPacket(NodeId src, NodeId dst)
+Network::setDeliveryHook(DeliveryFn hook)
 {
+    deliveryHook_ = std::move(hook);
+    if (!deliveryHook_)
+        inFlightRequests_.clear();
+}
+
+void
+Network::injectPacket(const traffic::PacketRequest &request)
+{
+    const NodeId src = request.src;
+    const NodeId dst = request.dst;
     DVSNET_ASSERT(src >= 0 && src < topo_.numNodes(), "bad source");
     DVSNET_ASSERT(dst >= 0 && dst < topo_.numNodes(), "bad destination");
     DVSNET_ASSERT(src != dst, "self-addressed packet");
@@ -277,8 +294,12 @@ Network::injectPacket(NodeId src, NodeId dst)
     desc.id = nextPacketId_++;
     desc.src = src;
     desc.dst = dst;
-    desc.length = config_.packetLength;
+    desc.length =
+        request.sizeFlits != 0 ? request.sizeFlits : config_.packetLength;
     desc.created = kernel_.now();
+
+    if (deliveryHook_)
+        inFlightRequests_.emplace(desc.id, request);
 
     auto &state = sources_[static_cast<std::size_t>(src)];
     state.queue.push_back(desc);
@@ -432,7 +453,17 @@ Network::injectFromQueue(NodeId node)
 void
 Network::onFlitEjected(const router::Flit &flit, Tick arrival)
 {
-    metrics_.onFlitEjected(flit, arrival);
+    const bool completed = metrics_.onFlitEjected(flit, arrival);
+    if (completed && deliveryHook_) {
+        const auto it = inFlightRequests_.find(flit.packet);
+        // Packets injected before the hook was installed have no echo
+        // entry; they complete silently.
+        if (it != inFlightRequests_.end()) {
+            const traffic::PacketRequest request = it->second;
+            inFlightRequests_.erase(it);
+            deliveryHook_(request, arrival);
+        }
+    }
 }
 
 void

@@ -10,8 +10,10 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/counters.hpp"
@@ -104,11 +106,40 @@ class Network
 
     const NetworkConfig &config() const { return config_; }
 
-    /** Attach and start a traffic generator. */
+    /**
+     * Attach and start a traffic generator.  Generators opting in via
+     * wantsDeliveries() are additionally wired to the delivery hook.
+     */
     void attachTraffic(traffic::TrafficGenerator &generator);
 
-    /** Create one packet at `src` bound for `dst` (enters source queue). */
-    void injectPacket(NodeId src, NodeId dst);
+    /**
+     * Create one packet (enters the source queue).  A zero
+     * `request.sizeFlits` uses the configured packet length; the
+     * traffic class and tag ride along and are echoed to the delivery
+     * hook when the packet's last flit is ejected.
+     */
+    void injectPacket(const traffic::PacketRequest &request);
+
+    /** Convenience: default-length, class-0, untagged packet. */
+    void injectPacket(NodeId src, NodeId dst)
+    {
+        injectPacket(traffic::PacketRequest{src, dst});
+    }
+
+    /** Per-packet delivery notification (tag echoed back). */
+    using DeliveryFn =
+        std::function<void(const traffic::PacketRequest &request,
+                           Tick arrival)>;
+
+    /**
+     * Opt-in delivery callback: invoked once per packet when its last
+     * flit is ejected at the destination, with the original request and
+     * the ejection tick.  Only packets injected *after* the hook is set
+     * are reported (the echo map is populated at injection time).
+     * Setting an empty function disables the mechanism; when disabled
+     * the network keeps no per-packet request state at all.
+     */
+    void setDeliveryHook(DeliveryFn hook);
 
     /**
      * Run the standard experiment: `warmup` cycles, then reset all
@@ -259,6 +290,12 @@ class Network
     router::PacketId nextPacketId_ = 1;
     bool stepping_ = false;
     Cycle measureStartCycle_ = 0;
+
+    /** Delivery-notification plumbing: empty hook = fully disabled
+     *  (no per-packet map entries, no lookups on ejection). */
+    DeliveryFn deliveryHook_;
+    std::unordered_map<router::PacketId, traffic::PacketRequest>
+        inFlightRequests_;
 };
 
 } // namespace dvsnet::network

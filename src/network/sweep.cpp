@@ -5,6 +5,7 @@
 
 #include "common/fatal.hpp"
 #include "exp/runner.hpp"
+#include "workload/factory.hpp"
 
 namespace dvsnet::network
 {
@@ -30,6 +31,7 @@ toJson(const ExperimentSpec &spec)
     // Full-range uint64; JSON numbers are lossy past 2^53, so decimal string.
     wl["seed"] = Json(std::to_string(spec.workload.seed));
     j["workload"] = std::move(wl);
+    j["workload_spec"] = Json(spec.workloadSpec);
     j["warmup_cycles"] = Json(static_cast<std::uint64_t>(spec.warmup));
     j["measure_cycles"] = Json(static_cast<std::uint64_t>(spec.measure));
     return j;
@@ -83,6 +85,8 @@ ExperimentSpec::validate() const
     }
     if (measure < 1)
         complain("measurement window must be >= 1 cycle");
+    for (auto &problem : workload::validateWorkloadSpec(workloadSpec))
+        problems.push_back(std::move(problem));
     return problems;
 }
 

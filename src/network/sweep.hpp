@@ -30,6 +30,15 @@ struct ExperimentSpec
 {
     NetworkConfig network;
     traffic::TwoLevelParams workload;  ///< injection rate set per point
+
+    /**
+     * Workload selector, `<name>[:key=val,...]` against the
+     * workload::WorkloadFactory registry ("two-level", "uniform",
+     * "cmp:window=8", "trace:path=FILE", ...).  The default reproduces
+     * the paper's two-level model configured by `workload` above.
+     */
+    std::string workloadSpec = "two-level";
+
     Cycle warmup = 20000;
     Cycle measure = 150000;
 

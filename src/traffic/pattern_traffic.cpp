@@ -33,7 +33,7 @@ PatternTraffic::scheduleNext(NodeId node)
     kernel_->after(std::max<Tick>(gap, 1), [this, node] {
         const NodeId dst = patternDestination(pattern_, node, topo_, rng_);
         if (dst != node)
-            sink_(node, dst);
+            sink_(PacketRequest{node, dst});
         scheduleNext(node);
     });
 }

@@ -110,9 +110,10 @@ TwoLevelWorkload::spawnTask(bool initialPopulation)
         rng_.fork(), [this, raw] {
             ++stats_.packetsGenerated;
             if (params_.perPacketDestination) {
-                sink_(raw->src, localityDestination(raw->src, rng_));
+                sink_(PacketRequest{
+                    raw->src, localityDestination(raw->src, rng_)});
             } else {
-                sink_(raw->src, raw->dst);
+                sink_(PacketRequest{raw->src, raw->dst});
             }
         });
     task->bank->start();

@@ -1,7 +1,8 @@
 #include "traffic/trace.hpp"
 
-#include <cstdio>
+#include <charconv>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "common/fatal.hpp"
@@ -9,26 +10,75 @@
 namespace dvsnet::traffic
 {
 
+namespace
+{
+
+/** Strict non-negative integer parse of [begin, end); no sign, no
+ *  whitespace, no trailing junk. */
+bool
+parseField(const char *begin, const char *end, std::uint64_t &out)
+{
+    if (begin == end)
+        return false;
+    const auto res = std::from_chars(begin, end, out);
+    return res.ec == std::errc{} && res.ptr == end;
+}
+
+[[noreturn]] void
+badLine(std::size_t lineNo, const std::string &line,
+        const std::string &why)
+{
+    throw ConfigError(detail::concat("trace line ", lineNo, ": ", why,
+                                     " in '", line, "'"));
+}
+
+} // namespace
+
 void
-Trace::append(Tick when, NodeId src, NodeId dst)
+Trace::append(Tick when, NodeId src, NodeId dst,
+              std::uint16_t sizeFlits, std::uint8_t trafficClass)
 {
     DVSNET_ASSERT(entries_.empty() || when >= entries_.back().when,
                   "trace times must be non-decreasing");
-    entries_.push_back({when, src, dst});
+    entries_.push_back({when, src, dst, sizeFlits, trafficClass});
+}
+
+void
+Trace::append(Tick when, const PacketRequest &request)
+{
+    append(when, request.src, request.dst, request.sizeFlits,
+           request.trafficClass);
+}
+
+bool
+Trace::hasExtendedFields() const
+{
+    for (const auto &e : entries_) {
+        if (e.sizeFlits != 0 || e.trafficClass != 0)
+            return true;
+    }
+    return false;
 }
 
 std::string
 Trace::toCsv() const
 {
+    const bool extended = hasExtendedFields();
     std::ostringstream oss;
-    oss << "tick,src,dst\n";
-    for (const auto &e : entries_)
-        oss << e.when << "," << e.src << "," << e.dst << "\n";
+    oss << (extended ? "tick,src,dst,size,class\n" : "tick,src,dst\n");
+    for (const auto &e : entries_) {
+        oss << e.when << "," << e.src << "," << e.dst;
+        if (extended) {
+            oss << "," << e.sizeFlits << ","
+                << static_cast<unsigned>(e.trafficClass);
+        }
+        oss << "\n";
+    }
     return oss.str();
 }
 
 Trace
-Trace::fromCsv(const std::string &csv)
+Trace::fromCsv(const std::string &csv, NodeId numNodes)
 {
     Trace trace;
     std::istringstream iss(csv);
@@ -37,6 +87,9 @@ Trace::fromCsv(const std::string &csv)
     std::size_t lineNo = 0;
     while (std::getline(iss, line)) {
         ++lineNo;
+        // Tolerate CRLF input: std::getline strips the LF only.
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
         if (line.empty())
             continue;
         if (first) {
@@ -44,15 +97,65 @@ Trace::fromCsv(const std::string &csv)
             if (line.rfind("tick", 0) == 0)
                 continue;  // header
         }
-        unsigned long long when = 0;
-        long src = 0, dst = 0;
-        if (std::sscanf(line.c_str(), "%llu,%ld,%ld", &when, &src,
-                        &dst) != 3) {
-            DVSNET_FATAL("malformed trace line ", lineNo, ": '", line,
-                         "'");
+
+        // Split on commas; 3 (tick,src,dst) or 5 (+size,class) fields.
+        std::uint64_t fields[5] = {0, 0, 0, 0, 0};
+        std::size_t count = 0;
+        const char *cursor = line.c_str();
+        const char *lineEnd = cursor + line.size();
+        while (true) {
+            const char *comma = cursor;
+            while (comma != lineEnd && *comma != ',')
+                ++comma;
+            if (count == 5)
+                badLine(lineNo, line, "too many fields");
+            if (!parseField(cursor, comma, fields[count])) {
+                badLine(lineNo, line,
+                        detail::concat("bad field ", count + 1));
+            }
+            ++count;
+            if (comma == lineEnd)
+                break;
+            cursor = comma + 1;
         }
-        trace.append(static_cast<Tick>(when), static_cast<NodeId>(src),
-                     static_cast<NodeId>(dst));
+        if (count != 3 && count != 5) {
+            badLine(lineNo, line,
+                    detail::concat("expected 3 or 5 fields, got ", count));
+        }
+
+        const Tick when = static_cast<Tick>(fields[0]);
+        if (!trace.entries_.empty() && when < trace.entries_.back().when) {
+            badLine(lineNo, line,
+                    detail::concat("decreasing tick ", when, " (previous ",
+                                   trace.entries_.back().when, ")"));
+        }
+        for (int f = 1; f <= 2; ++f) {
+            const char *what = f == 1 ? "src" : "dst";
+            if (fields[f] >
+                static_cast<std::uint64_t>(
+                    std::numeric_limits<NodeId>::max())) {
+                badLine(lineNo, line,
+                        detail::concat(what, " id ", fields[f],
+                                       " overflows NodeId"));
+            }
+            if (numNodes > 0 &&
+                fields[f] >= static_cast<std::uint64_t>(numNodes)) {
+                badLine(lineNo, line,
+                        detail::concat(what, " id ", fields[f],
+                                       " out of range [0, ", numNodes,
+                                       ")"));
+            }
+        }
+        if (fields[3] > std::numeric_limits<std::uint16_t>::max())
+            badLine(lineNo, line, "size overflows 16 bits");
+        if (fields[4] > std::numeric_limits<std::uint8_t>::max())
+            badLine(lineNo, line, "class overflows 8 bits");
+
+        trace.entries_.push_back(
+            {when, static_cast<NodeId>(fields[1]),
+             static_cast<NodeId>(fields[2]),
+             static_cast<std::uint16_t>(fields[3]),
+             static_cast<std::uint8_t>(fields[4])});
     }
     return trace;
 }
@@ -61,20 +164,25 @@ void
 Trace::save(const std::string &path) const
 {
     std::ofstream out(path);
-    if (!out)
-        DVSNET_FATAL("cannot open trace file '", path, "' for writing");
+    if (!out) {
+        throw ConfigError("cannot open trace file '" + path +
+                          "' for writing");
+    }
     out << toCsv();
+    out.flush();
+    if (!out)
+        throw ConfigError("failed writing trace file '" + path + "'");
 }
 
 Trace
-Trace::load(const std::string &path)
+Trace::load(const std::string &path, NodeId numNodes)
 {
     std::ifstream in(path);
     if (!in)
-        DVSNET_FATAL("cannot open trace file '", path, "'");
+        throw ConfigError("cannot open trace file '" + path + "'");
     std::ostringstream oss;
     oss << in.rdbuf();
-    return fromCsv(oss.str());
+    return fromCsv(oss.str(), numNodes);
 }
 
 void
@@ -93,7 +201,7 @@ TraceTraffic::scheduleNext(std::size_t index)
     const Tick when = std::max(e.when, kernel_->now());
     kernel_->at(when, [this, index] {
         const TraceEntry &entry = trace_.entries()[index];
-        sink_(entry.src, entry.dst);
+        sink_(entry.toRequest());
         if (index + 1 < trace_.size())
             scheduleNext(index + 1);
     });

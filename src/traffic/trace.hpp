@@ -3,11 +3,19 @@
  * Traffic trace capture and replay.
  *
  * A TraceRecorder wraps any generator's packet stream and logs
- * (tick, src, dst) tuples; TraceTraffic replays a trace exactly,
- * enabling bit-identical workload reproduction across simulator
- * configurations (e.g. comparing DVS policies under *literally* the
- * same packet sequence instead of merely the same seed) and import of
- * externally produced traces.  Traces round-trip through a simple CSV.
+ * (tick, src, dst, size, class) tuples; TraceTraffic replays a trace
+ * exactly, enabling bit-identical workload reproduction across
+ * simulator configurations (e.g. comparing DVS policies under
+ * *literally* the same packet sequence instead of merely the same seed)
+ * and import of externally produced traces.
+ *
+ * Two on-disk forms exist: a human-readable CSV (this file) and the
+ * compact varint-delta binary format in workload/trace_binary.hpp —
+ * the scale format for long runs.  Both round-trip losslessly.
+ *
+ * Malformed trace input (bad fields, decreasing ticks, out-of-range
+ * node ids) raises ConfigError with the offending line number, so a
+ * corrupt trace fails fast instead of silently misparsing.
  */
 
 #pragma once
@@ -27,8 +35,17 @@ struct TraceEntry
     Tick when = 0;
     NodeId src = kInvalidId;
     NodeId dst = kInvalidId;
+    std::uint16_t sizeFlits = 0;    ///< 0 = network default length
+    std::uint8_t trafficClass = 0;  ///< generator-defined flow class
 
     bool operator==(const TraceEntry &) const = default;
+
+    /** The request this entry replays (tag carries nothing on replay). */
+    PacketRequest
+    toRequest() const
+    {
+        return PacketRequest{src, dst, sizeFlits, trafficClass, 0};
+    }
 };
 
 /** An ordered packet trace. */
@@ -38,22 +55,40 @@ class Trace
     Trace() = default;
 
     /** Append an entry (ticks must be non-decreasing). */
-    void append(Tick when, NodeId src, NodeId dst);
+    void append(Tick when, NodeId src, NodeId dst,
+                std::uint16_t sizeFlits = 0,
+                std::uint8_t trafficClass = 0);
+
+    /** Append a recorded request at `when`. */
+    void append(Tick when, const PacketRequest &request);
 
     const std::vector<TraceEntry> &entries() const { return entries_; }
 
     std::size_t size() const { return entries_.size(); }
     bool empty() const { return entries_.empty(); }
 
-    /** Serialize as "tick,src,dst" CSV lines. */
+    /** True when any entry carries an explicit size or class. */
+    bool hasExtendedFields() const;
+
+    /**
+     * Serialize as CSV: "tick,src,dst" lines, or
+     * "tick,src,dst,size,class" when extended fields are present.
+     */
     std::string toCsv() const;
 
-    /** Parse the CSV form; fatal on malformed input. */
-    static Trace fromCsv(const std::string &csv);
+    /**
+     * Parse the CSV form.  Accepts CRLF line endings, a trailing
+     * newline, an optional header, and 3- or 5-column rows.
+     * @param numNodes when > 0, node ids must lie in [0, numNodes)
+     * @throws ConfigError (line-numbered) on malformed rows,
+     *         decreasing ticks, or out-of-range node ids
+     */
+    static Trace fromCsv(const std::string &csv, NodeId numNodes = 0);
 
-    /** Write to / read from a file. */
+    /** Write to / read from a CSV file.  @throws ConfigError on I/O
+     *  or (load) parse failure. */
     void save(const std::string &path) const;
-    static Trace load(const std::string &path);
+    static Trace load(const std::string &path, NodeId numNodes = 0);
 
   private:
     std::vector<TraceEntry> entries_;
@@ -61,7 +96,9 @@ class Trace
 
 /**
  * Wraps another generator, recording everything it emits while passing
- * it through to the network.
+ * it through to the network.  Fully transparent: delivery
+ * notifications are forwarded to the inner generator, so closed-loop
+ * workloads (request/reply) can be recorded from a live network run.
  */
 class TraceRecorder final : public TrafficGenerator
 {
@@ -73,11 +110,21 @@ class TraceRecorder final : public TrafficGenerator
     start(sim::Kernel &kernel, PacketSink sink) override
     {
         kernel_ = &kernel;
-        inner_.start(kernel, [this, sink = std::move(sink)](NodeId src,
-                                                            NodeId dst) {
-            trace_.append(kernel_->now(), src, dst);
-            sink(src, dst);
+        inner_.start(kernel, [this, sink = std::move(sink)](
+                                 const PacketRequest &request) {
+            trace_.append(kernel_->now(), request);
+            sink(request);
         });
+    }
+
+    bool wantsDeliveries() const override
+    {
+        return inner_.wantsDeliveries();
+    }
+
+    void onDelivered(const PacketRequest &request, Tick arrival) override
+    {
+        inner_.onDelivered(request, arrival);
     }
 
     const char *name() const override { return "trace-recorder"; }

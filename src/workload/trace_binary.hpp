@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Compact binary packet-trace format (the scale format; CSV remains the
+ * human-readable one — see traffic/trace.hpp).
+ *
+ * Layout (all multi-byte integers little-endian):
+ *
+ *     offset  size  field
+ *     0       4     magic "DVST"
+ *     4       2     version (currently 1)
+ *     6       2     flags (reserved, must be 0)
+ *     8       4     numNodes (0 = unknown; else ids checked < numNodes)
+ *     12      8     entryCount (0 = unknown, read to EOF; writers on
+ *                   seekable streams backpatch the real count)
+ *     20      ...   entries
+ *
+ * Each entry is five LEB128 varints: tick delta from the previous
+ * entry (first entry: from 0), src, dst, sizeFlits, trafficClass.
+ * Delta-encoding plus varints makes dense traces ~5-7 bytes/entry
+ * against 12+ bytes of CSV text, and the format streams: both reader
+ * and writer touch O(1) memory regardless of trace length — no mmap,
+ * no whole-file buffering.
+ *
+ * All format violations (bad magic, unsupported version, truncated
+ * varints, decreasing ticks can't happen by construction — deltas are
+ * unsigned) raise ConfigError with the entry index, so a corrupt or
+ * foreign file fails fast.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "traffic/trace.hpp"
+
+namespace dvsnet::workload
+{
+
+/** Parsed binary-trace header. */
+struct BinaryTraceHeader
+{
+    std::uint16_t version = 1;
+    std::uint32_t numNodes = 0;   ///< 0 = unknown
+    std::uint64_t entryCount = 0; ///< 0 = unknown (stream to EOF)
+};
+
+/** File magic, "DVST" in little-endian byte order. */
+inline constexpr std::uint32_t kTraceMagic = 0x54535644u;
+
+/** Current format version. */
+inline constexpr std::uint16_t kTraceVersion = 1;
+
+/** Conventional file extension for binary traces. */
+inline constexpr const char *kTraceExtension = ".dvst";
+
+/**
+ * Streaming binary-trace writer.  Appends entries one at a time with
+ * O(1) memory; finish() backpatches the header entry count when the
+ * stream is seekable (a file), otherwise leaves it 0 ("unknown").
+ */
+class BinaryTraceWriter
+{
+  public:
+    /**
+     * @param out destination stream (caller-owned, must outlive us;
+     *        binary mode)
+     * @param numNodes recorded into the header; 0 = unknown
+     * @throws ConfigError if the header cannot be written
+     */
+    explicit BinaryTraceWriter(std::ostream &out,
+                               std::uint32_t numNodes = 0);
+
+    /** Append one entry; ticks must be non-decreasing.
+     *  @throws ConfigError on a decreasing tick or write failure */
+    void append(const traffic::TraceEntry &entry);
+
+    /** Flush and backpatch the entry count; idempotent.  Must be
+     *  called before the stream is closed for the count to land. */
+    void finish();
+
+    std::uint64_t written() const { return count_; }
+
+  private:
+    std::ostream &out_;
+    std::streampos headerPos_;
+    Tick lastTick_ = 0;
+    std::uint64_t count_ = 0;
+    bool finished_ = false;
+};
+
+/**
+ * Streaming binary-trace reader: header on construction, then one
+ * entry per next() call with O(1) memory.
+ */
+class BinaryTraceReader
+{
+  public:
+    /** @param in source stream (caller-owned, binary mode)
+     *  @throws ConfigError on a bad magic/version/flags header */
+    explicit BinaryTraceReader(std::istream &in);
+
+    const BinaryTraceHeader &header() const { return header_; }
+
+    /**
+     * Read the next entry into `entry`.  Returns false at end of
+     * trace.  @throws ConfigError on truncation, a trailing partial
+     * entry, an entry-count mismatch, or an out-of-range node id.
+     */
+    bool next(traffic::TraceEntry &entry);
+
+    /** Entries returned so far. */
+    std::uint64_t read() const { return count_; }
+
+  private:
+    std::istream &in_;
+    BinaryTraceHeader header_;
+    Tick lastTick_ = 0;
+    std::uint64_t count_ = 0;
+    bool done_ = false;
+};
+
+/** Write a whole trace to a binary file.  @throws ConfigError */
+void saveBinaryTrace(const traffic::Trace &trace, const std::string &path,
+                     std::uint32_t numNodes = 0);
+
+/** Read a whole binary trace file.  @throws ConfigError */
+traffic::Trace loadBinaryTrace(const std::string &path);
+
+/** True when `path` names a binary trace by extension (".dvst"). */
+bool isBinaryTracePath(const std::string &path);
+
+/**
+ * Load a trace in either format, dispatching on the file extension
+ * (".dvst" = binary, anything else = CSV).  @throws ConfigError
+ */
+traffic::Trace loadAnyTrace(const std::string &path, NodeId numNodes = 0);
+
+/**
+ * Replays a binary trace file directly from disk, reading entries as
+ * their events fire — memory stays O(1) no matter how long the trace
+ * is, which is the point of the binary format.  Semantically identical
+ * to TraceTraffic over loadBinaryTrace() of the same file.
+ */
+class BinaryTraceReplay final : public traffic::TrafficGenerator
+{
+  public:
+    /** @throws ConfigError when the file cannot be opened or its
+     *  header is invalid */
+    explicit BinaryTraceReplay(const std::string &path);
+
+    void start(sim::Kernel &kernel, traffic::PacketSink sink) override;
+
+    const char *name() const override { return "binary-trace-replay"; }
+
+  private:
+    void scheduleNext();
+
+    std::ifstream file_;
+    std::unique_ptr<BinaryTraceReader> reader_;
+    traffic::TraceEntry pending_{};
+    bool havePending_ = false;
+    sim::Kernel *kernel_ = nullptr;
+    traffic::PacketSink sink_;
+};
+
+} // namespace dvsnet::workload

@@ -96,7 +96,7 @@ TEST(TracedPolicyComparison, SameWorkloadDifferentPolicies)
         dvsnet::sim::Kernel kernel;
         PatternTraffic inner(topo, Pattern::UniformRandom, 0.008, 23);
         TraceRecorder recorder(inner);
-        recorder.start(kernel, [](NodeId, NodeId) {});
+        recorder.start(kernel, [](const dvsnet::traffic::PacketRequest &) {});
         kernel.run(dvsnet::cyclesToTicks(60000));
         trace = recorder.trace();
     }

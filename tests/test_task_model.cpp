@@ -44,7 +44,7 @@ TEST(TwoLevel, InitialPopulationMatchesConcurrency)
     const KAryNCube m(8, 2, false);
     Kernel kernel;
     TwoLevelWorkload wl(m, fastParams());
-    wl.start(kernel, [](NodeId, NodeId) {});
+    wl.start(kernel, [](const dvsnet::traffic::PacketRequest &) {});
     EXPECT_EQ(wl.activeTasks(), 20);
 }
 
@@ -53,7 +53,7 @@ TEST(TwoLevel, ConcurrencyHoversAroundTarget)
     const KAryNCube m(8, 2, false);
     Kernel kernel;
     TwoLevelWorkload wl(m, fastParams());
-    wl.start(kernel, [](NodeId, NodeId) {});
+    wl.start(kernel, [](const dvsnet::traffic::PacketRequest &) {});
 
     double sum = 0.0;
     const int samples = 50;
@@ -69,7 +69,7 @@ TEST(TwoLevel, TasksSpawnAndComplete)
     const KAryNCube m(8, 2, false);
     Kernel kernel;
     TwoLevelWorkload wl(m, fastParams());
-    wl.start(kernel, [](NodeId, NodeId) {});
+    wl.start(kernel, [](const dvsnet::traffic::PacketRequest &) {});
     kernel.run(cyclesToTicks(200000));
     EXPECT_GT(wl.stats().tasksSpawned, 100u);
     EXPECT_GT(wl.stats().tasksCompleted, 100u);
@@ -86,7 +86,8 @@ TEST(TwoLevel, InjectionRateNearTarget)
     p.networkInjectionRate = 0.5;
     TwoLevelWorkload wl(m, p);
     std::uint64_t packets = 0;
-    wl.start(kernel, [&](NodeId, NodeId) { ++packets; });
+    wl.start(kernel,
+             [&](const dvsnet::traffic::PacketRequest &) { ++packets; });
     const Cycle horizon = 400000;
     kernel.run(cyclesToTicks(horizon));
     const double expected = 0.5 * static_cast<double>(horizon);
@@ -98,7 +99,9 @@ TEST(TwoLevel, PacketsNeverSelfAddressed)
     const KAryNCube m(4, 2, false);
     Kernel kernel;
     TwoLevelWorkload wl(m, fastParams());
-    wl.start(kernel, [](NodeId s, NodeId d) { EXPECT_NE(s, d); });
+    wl.start(kernel, [](const dvsnet::traffic::PacketRequest &r) {
+        EXPECT_NE(r.src, r.dst);
+    });
     kernel.run(cyclesToTicks(100000));
 }
 
@@ -133,7 +136,9 @@ TEST(TwoLevel, SpatialVarianceExistsAcrossSources)
     Kernel kernel;
     TwoLevelWorkload wl(m, fastParams());
     std::map<NodeId, double> perSrc;
-    wl.start(kernel, [&](NodeId s, NodeId) { perSrc[s] += 1.0; });
+    wl.start(kernel, [&](const dvsnet::traffic::PacketRequest &r) {
+        perSrc[r.src] += 1.0;
+    });
     kernel.run(cyclesToTicks(100000));
 
     double total = 0.0;
@@ -159,9 +164,10 @@ TEST(TwoLevel, DeterministicUnderSeed)
     for (auto *log : {&a, &b}) {
         Kernel kernel;
         TwoLevelWorkload wl(m, fastParams());
-        wl.start(kernel, [&kernel, log](NodeId s, NodeId d) {
-            log->push_back({kernel.now(), s, d});
-        });
+        wl.start(kernel,
+                 [&kernel, log](const dvsnet::traffic::PacketRequest &r) {
+                     log->push_back({kernel.now(), r.src, r.dst});
+                 });
         kernel.run(cyclesToTicks(50000));
     }
     EXPECT_EQ(a, b);
@@ -177,7 +183,9 @@ TEST(TwoLevel, PerPacketDestinationSpreadsFlows)
     Kernel kernel;
     TwoLevelWorkload wl(m, p);
     std::set<NodeId> dsts;
-    wl.start(kernel, [&](NodeId, NodeId d) { dsts.insert(d); });
+    wl.start(kernel, [&](const dvsnet::traffic::PacketRequest &r) {
+        dsts.insert(r.dst);
+    });
     kernel.run(cyclesToTicks(200000));
     EXPECT_GT(dsts.size(), 10u);
 }
@@ -191,7 +199,8 @@ TEST(TwoLevel, ShortTasksAlsoWork)
     Kernel kernel;
     TwoLevelWorkload wl(m, p);
     std::uint64_t packets = 0;
-    wl.start(kernel, [&](NodeId, NodeId) { ++packets; });
+    wl.start(kernel,
+             [&](const dvsnet::traffic::PacketRequest &) { ++packets; });
     kernel.run(cyclesToTicks(100000));
     EXPECT_GT(packets, 0u);
     EXPECT_GT(wl.stats().tasksCompleted, 50u);

@@ -71,6 +71,82 @@ TEST(Trace, FileRoundTrip)
     std::remove(path.c_str());
 }
 
+TEST(Trace, CsvToleratesCrlfAndBlankLines)
+{
+    const Trace t = Trace::fromCsv(
+        "tick,src,dst\r\n100,1,2\r\n\r\n200,3,4\r\n");
+    ASSERT_EQ(t.size(), 2u);
+    EXPECT_EQ(t.entries()[0], (TraceEntry{100, 1, 2}));
+    EXPECT_EQ(t.entries()[1], (TraceEntry{200, 3, 4}));
+}
+
+TEST(Trace, CsvToleratesMissingTrailingNewline)
+{
+    const Trace t = Trace::fromCsv("100,1,2\n200,3,4");
+    ASSERT_EQ(t.size(), 2u);
+    EXPECT_EQ(t.entries()[1], (TraceEntry{200, 3, 4}));
+}
+
+TEST(Trace, CsvParsesExtendedFiveFieldRows)
+{
+    const Trace t =
+        Trace::fromCsv("tick,src,dst,size,class\n100,1,2,5,1\n");
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_EQ(t.entries()[0], (TraceEntry{100, 1, 2, 5, 1}));
+}
+
+namespace
+{
+
+/** The ConfigError message for a malformed CSV, "" if it parsed. */
+std::string
+csvError(const std::string &csv, NodeId numNodes = 0)
+{
+    try {
+        Trace::fromCsv(csv, numNodes);
+        return "";
+    } catch (const dvsnet::ConfigError &e) {
+        return e.what();
+    }
+}
+
+} // namespace
+
+TEST(Trace, CsvRejectsDecreasingTicksWithLineNumber)
+{
+    const std::string what = csvError("tick,src,dst\n200,1,2\n100,3,4\n");
+    EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("decreasing"), std::string::npos) << what;
+}
+
+TEST(Trace, CsvRejectsOutOfRangeNodeIdsWithLineNumber)
+{
+    // dst 16 is out of range on a 16-node network.
+    const std::string what = csvError("100,1,16\n", 16);
+    EXPECT_NE(what.find("line 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("out of range"), std::string::npos) << what;
+
+    // Huge ids overflow NodeId even with no node count given.
+    EXPECT_NE(csvError("100,1,99999999999\n").find("overflows"),
+              std::string::npos);
+}
+
+TEST(Trace, CsvRejectsMalformedRows)
+{
+    EXPECT_NE(csvError("100,1\n").find("expected 3 or 5 fields"),
+              std::string::npos);
+    EXPECT_NE(csvError("100,1,2,3\n").find("expected 3 or 5 fields"),
+              std::string::npos);
+    EXPECT_NE(csvError("100,1,2,3,4,5\n").find("too many fields"),
+              std::string::npos);
+    EXPECT_NE(csvError("abc,1,2\n").find("bad field 1"),
+              std::string::npos);
+    EXPECT_NE(csvError("100, 1,2\n").find("bad field"),
+              std::string::npos);  // no whitespace tolerance
+    EXPECT_NE(csvError("100,-1,2\n").find("bad field"),
+              std::string::npos);  // no signs
+}
+
 TEST(TraceRecorder, PassesTrafficThroughWhileRecording)
 {
     dvsnet::topo::KAryNCube topo(4, 2, false);
@@ -79,7 +155,10 @@ TEST(TraceRecorder, PassesTrafficThroughWhileRecording)
     TraceRecorder recorder(inner);
 
     std::size_t delivered = 0;
-    recorder.start(kernel, [&](NodeId, NodeId) { ++delivered; });
+    recorder.start(kernel,
+                   [&](const dvsnet::traffic::PacketRequest &) {
+                       ++delivered;
+                   });
     kernel.run(dvsnet::cyclesToTicks(20000));
 
     EXPECT_GT(delivered, 0u);
@@ -96,7 +175,7 @@ TEST(TraceReplay, ReproducesRecordedSequenceExactly)
         Kernel kernel;
         PatternTraffic inner(topo, Pattern::UniformRandom, 0.01, 7);
         TraceRecorder recorder(inner);
-        recorder.start(kernel, [](NodeId, NodeId) {});
+        recorder.start(kernel, [](const dvsnet::traffic::PacketRequest &) {});
         kernel.run(dvsnet::cyclesToTicks(20000));
         recorded = recorder.trace();
     }
@@ -107,8 +186,8 @@ TEST(TraceReplay, ReproducesRecordedSequenceExactly)
     {
         Kernel kernel;
         TraceTraffic replay(recorded);
-        replay.start(kernel, [&](NodeId src, NodeId dst) {
-            replayed.push_back({kernel.now(), src, dst});
+        replay.start(kernel, [&](const dvsnet::traffic::PacketRequest &r) {
+            replayed.push_back({kernel.now(), r.src, r.dst});
         });
         kernel.run();
     }

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Binary (.dvst) trace format tests: round trips against the in-memory
+ * and CSV representations (including a randomized property test),
+ * header/format-violation rejection, and lockstep equivalence of the
+ * streaming BinaryTraceReplay generator with the CSV replay path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/fatal.hpp"
+#include "common/rng.hpp"
+#include "sim/kernel.hpp"
+#include "traffic/trace.hpp"
+#include "workload/trace_binary.hpp"
+
+using dvsnet::ConfigError;
+using dvsnet::NodeId;
+using dvsnet::Rng;
+using dvsnet::Tick;
+using dvsnet::sim::Kernel;
+using dvsnet::traffic::Trace;
+using dvsnet::traffic::TraceEntry;
+using dvsnet::traffic::TraceTraffic;
+using dvsnet::workload::BinaryTraceReader;
+using dvsnet::workload::BinaryTraceReplay;
+using dvsnet::workload::BinaryTraceWriter;
+using dvsnet::workload::loadAnyTrace;
+using dvsnet::workload::loadBinaryTrace;
+using dvsnet::workload::saveBinaryTrace;
+
+namespace
+{
+
+std::string
+tempPath(const char *name)
+{
+    return ::testing::TempDir() + "/" + name;
+}
+
+/** Serialize a trace to an in-memory binary stream. */
+std::string
+toBinary(const Trace &trace, std::uint32_t numNodes = 0)
+{
+    std::ostringstream out(std::ios::binary);
+    BinaryTraceWriter writer(out, numNodes);
+    for (const auto &entry : trace.entries())
+        writer.append(entry);
+    writer.finish();
+    return out.str();
+}
+
+/** Deserialize an in-memory binary stream back to a trace. */
+Trace
+fromBinary(const std::string &bytes)
+{
+    std::istringstream in(bytes, std::ios::binary);
+    BinaryTraceReader reader(in);
+    Trace trace;
+    TraceEntry entry;
+    while (reader.next(entry)) {
+        trace.append(entry.when, entry.src, entry.dst, entry.sizeFlits,
+                     entry.trafficClass);
+    }
+    return trace;
+}
+
+} // namespace
+
+TEST(BinaryTrace, RoundTripBasic)
+{
+    Trace t;
+    t.append(0, 0, 63);
+    t.append(12345, 7, 8, 5, 1);
+    t.append(12345, 8, 7);            // equal ticks allowed
+    t.append(99999999999ull, 63, 0);  // large tick delta
+    EXPECT_EQ(fromBinary(toBinary(t)).entries(), t.entries());
+}
+
+TEST(BinaryTrace, RoundTripEmpty)
+{
+    const std::string bytes = toBinary(Trace{});
+    EXPECT_EQ(fromBinary(bytes).size(), 0u);
+}
+
+TEST(BinaryTrace, RandomTracesRoundTripAndMatchCsvPath)
+{
+    Rng rng(20260808);
+    for (int round = 0; round < 20; ++round) {
+        Trace t;
+        Tick when = rng.uniformInt(1000);
+        const std::size_t entries = 1 + rng.uniformInt(200);
+        for (std::size_t k = 0; k < entries; ++k) {
+            when += rng.uniformInt(5000);  // non-decreasing, often equal
+            t.append(when, static_cast<NodeId>(rng.uniformInt(64)),
+                     static_cast<NodeId>(rng.uniformInt(64)),
+                     static_cast<std::uint16_t>(rng.uniformInt(32)),
+                     static_cast<std::uint8_t>(rng.uniformInt(4)));
+        }
+        // Binary round trip == original == CSV round trip.
+        EXPECT_EQ(fromBinary(toBinary(t)).entries(), t.entries());
+        EXPECT_EQ(Trace::fromCsv(t.toCsv()).entries(), t.entries());
+    }
+}
+
+TEST(BinaryTrace, HeaderCarriesNodeCountAndEntryCount)
+{
+    Trace t;
+    t.append(100, 1, 2);
+    t.append(200, 3, 0);
+    const std::string bytes = toBinary(t, 16);
+
+    std::istringstream in(bytes, std::ios::binary);
+    BinaryTraceReader reader(in);
+    EXPECT_EQ(reader.header().version, 1u);
+    EXPECT_EQ(reader.header().numNodes, 16u);
+    EXPECT_EQ(reader.header().entryCount, 2u);  // backpatched
+}
+
+TEST(BinaryTrace, WriterRejectsDecreasingTicks)
+{
+    std::ostringstream out(std::ios::binary);
+    BinaryTraceWriter writer(out);
+    writer.append({100, 1, 2});
+    EXPECT_THROW(writer.append({50, 1, 2}), ConfigError);
+}
+
+TEST(BinaryTrace, RejectsBadMagic)
+{
+    std::istringstream in("this is not a dvst file at all....",
+                          std::ios::binary);
+    EXPECT_THROW(BinaryTraceReader reader(in), ConfigError);
+}
+
+TEST(BinaryTrace, RejectsUnsupportedVersion)
+{
+    Trace t;
+    t.append(1, 0, 1);
+    std::string bytes = toBinary(t);
+    bytes[4] = 99;  // version field, little-endian low byte
+    std::istringstream in(bytes, std::ios::binary);
+    EXPECT_THROW(BinaryTraceReader reader(in), ConfigError);
+}
+
+TEST(BinaryTrace, RejectsTruncatedFile)
+{
+    Trace t;
+    t.append(1000, 3, 4, 7, 2);
+    t.append(2000, 4, 3, 7, 2);
+    const std::string bytes = toBinary(t);
+    // Chop mid-entry: header survives, next() must report truncation.
+    std::istringstream in(bytes.substr(0, bytes.size() - 2),
+                          std::ios::binary);
+    BinaryTraceReader reader(in);
+    TraceEntry entry;
+    EXPECT_THROW({
+        while (reader.next(entry)) {
+        }
+    }, ConfigError);
+}
+
+TEST(BinaryTrace, RejectsOutOfRangeNodeIdAgainstHeader)
+{
+    Trace t;
+    t.append(10, 9, 1);  // src 9 out of range for a 4-node header
+    const std::string bytes = toBinary(t, 4);
+    std::istringstream in(bytes, std::ios::binary);
+    BinaryTraceReader reader(in);
+    TraceEntry entry;
+    EXPECT_THROW(reader.next(entry), ConfigError);
+}
+
+TEST(BinaryTrace, FileRoundTripAndExtensionDispatch)
+{
+    Trace t;
+    t.append(500, 2, 3, 9, 1);
+    t.append(700, 3, 2);
+    const std::string path = tempPath("dvsnet_trace_test.dvst");
+    saveBinaryTrace(t, path, 16);
+    EXPECT_EQ(loadBinaryTrace(path).entries(), t.entries());
+    // loadAnyTrace dispatches on the extension.
+    EXPECT_EQ(loadAnyTrace(path).entries(), t.entries());
+    std::remove(path.c_str());
+}
+
+TEST(BinaryTraceReplay, LockstepMatchesCsvReplay)
+{
+    // A trace exercising equal ticks, size/class mix, and bursts.
+    Trace t;
+    Rng rng(7);
+    Tick when = 0;
+    for (int k = 0; k < 300; ++k) {
+        when += rng.uniformInt(3) * 500;
+        t.append(when, static_cast<NodeId>(rng.uniformInt(16)),
+                 static_cast<NodeId>(rng.uniformInt(16)),
+                 static_cast<std::uint16_t>(1 + rng.uniformInt(8)),
+                 static_cast<std::uint8_t>(rng.uniformInt(2)));
+    }
+    const std::string path = tempPath("dvsnet_replay_test.dvst");
+    saveBinaryTrace(t, path, 16);
+
+    // Capture both replays as full (tick, request) streams.
+    using Event = std::pair<Tick, dvsnet::traffic::PacketRequest>;
+    const auto capture = [](dvsnet::traffic::TrafficGenerator &gen) {
+        std::vector<Event> events;
+        Kernel kernel;
+        gen.start(kernel,
+                  [&](const dvsnet::traffic::PacketRequest &request) {
+                      events.emplace_back(kernel.now(), request);
+                  });
+        kernel.run();
+        return events;
+    };
+
+    TraceTraffic csvReplay(Trace::fromCsv(t.toCsv()));
+    BinaryTraceReplay binaryReplay(path);
+    const auto fromCsvPath = capture(csvReplay);
+    const auto fromBinaryPath = capture(binaryReplay);
+    std::remove(path.c_str());
+
+    ASSERT_EQ(fromCsvPath.size(), t.size());
+    EXPECT_EQ(fromCsvPath, fromBinaryPath);
+    for (std::size_t k = 0; k < fromCsvPath.size(); ++k) {
+        EXPECT_EQ(fromCsvPath[k].first, t.entries()[k].when);
+        EXPECT_EQ(fromCsvPath[k].second, t.entries()[k].toRequest());
+    }
+}
+
+TEST(BinaryTraceReplay, MissingFileThrows)
+{
+    EXPECT_THROW(BinaryTraceReplay replay("/nonexistent/nope.dvst"),
+                 ConfigError);
+}

@@ -139,7 +139,8 @@ TEST(PatternTraffic, GeneratesNearTargetRate)
     PatternTraffic gen(m, Pattern::UniformRandom, 0.01, 42);
 
     std::uint64_t packets = 0;
-    gen.start(kernel, [&](NodeId, NodeId) { ++packets; });
+    gen.start(kernel,
+              [&](const dvsnet::traffic::PacketRequest &) { ++packets; });
     const dvsnet::Cycle horizon = 100000;
     kernel.run(cyclesToTicks(horizon));
 
@@ -155,7 +156,9 @@ TEST(PatternTraffic, SourcesSpreadAcrossNodes)
     PatternTraffic gen(m, Pattern::UniformRandom, 0.02, 7);
 
     std::map<NodeId, int> perSrc;
-    gen.start(kernel, [&](NodeId s, NodeId) { ++perSrc[s]; });
+    gen.start(kernel, [&](const dvsnet::traffic::PacketRequest &r) {
+        ++perSrc[r.src];
+    });
     kernel.run(cyclesToTicks(50000));
     EXPECT_EQ(perSrc.size(), 16u);
 }
@@ -167,8 +170,8 @@ TEST(PatternTraffic, DeterministicUnderSeed)
     for (auto *log : {&a, &b}) {
         dvsnet::sim::Kernel kernel;
         PatternTraffic gen(m, Pattern::UniformRandom, 0.01, 99);
-        gen.start(kernel, [log](NodeId s, NodeId d) {
-            log->push_back({s, d});
+        gen.start(kernel, [log](const dvsnet::traffic::PacketRequest &r) {
+            log->push_back({r.src, r.dst});
         });
         kernel.run(cyclesToTicks(20000));
     }
