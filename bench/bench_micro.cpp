@@ -141,12 +141,16 @@ BM_IdleRouterStep(benchmark::State &state)
 }
 BENCHMARK(BM_IdleRouterStep);
 
-/** Whole-network simulation throughput: cycles simulated per second. */
+/** Whole-network simulation throughput: cycles simulated per second.
+ *  Args: {radix, partitions} — partitions > 1 steps the mesh with the
+ *  lockstep partitioned engine (bit-identical results, parallel
+ *  compute phase). */
 void
 BM_NetworkCyclesPerSecond(benchmark::State &state)
 {
     network::NetworkConfig cfg;
     cfg.radix = static_cast<std::int32_t>(state.range(0));
+    cfg.partitions = static_cast<std::int32_t>(state.range(1));
     cfg.policy = network::PolicyKind::History;
     network::Network net(cfg);
     traffic::PatternTraffic traffic(net.topology(),
@@ -163,7 +167,10 @@ BM_NetworkCyclesPerSecond(benchmark::State &state)
         static_cast<std::int64_t>(state.iterations()) * 1000);
     state.SetLabel("items = simulated cycles");
 }
-BENCHMARK(BM_NetworkCyclesPerSecond)->Arg(4)->Arg(8)
+BENCHMARK(BM_NetworkCyclesPerSecond)
+    ->Args({4, 1})
+    ->Args({8, 1})
+    ->Args({8, 4})
     ->Unit(benchmark::kMillisecond);
 
 /**
@@ -206,26 +213,34 @@ measureEventQueue(std::uint64_t events)
 }
 
 /**
- * Timed whole-network pass: 8x8 mesh, history-DVS policy, uniform
- * traffic at `rate` packets/node/cycle.  Reports simulated cycles/sec,
- * kernel events/sec and delivered flits/sec — the end-to-end throughput
- * figures tracked by the committed baseline.  Run at three operating
- * points: the historical 0.01 pkts/node/cycle one, a paper-typical
- * low-load point (0.02 pkts/node/cycle = 0.1 flits/node/cycle with
- * 5-flit packets) where activity gating pays off most, and a
- * near-saturation point (0.07) that exercises the fused router pass
- * and link-delivery batching with everything awake.  Best-of-3 like
- * the event-queue pass: every repetition simulates the identical seeded
+ * Timed whole-network pass: radix x radix mesh, history-DVS policy,
+ * uniform traffic at `rate` packets/node/cycle, stepped with
+ * `partitions` lockstep lanes (1 = the serial engine).  Reports
+ * simulated cycles/sec, kernel events/sec and delivered flits/sec —
+ * the end-to-end throughput figures tracked by the committed baseline.
+ * Run at several operating points: the historical 0.01
+ * pkts/node/cycle one, a paper-typical low-load point (0.02
+ * pkts/node/cycle = 0.1 flits/node/cycle with 5-flit packets) where
+ * activity gating pays off most, a near-saturation point (0.07) that
+ * exercises the fused router pass and link-delivery batching with
+ * everything awake, and partitioned twins of the loaded points (the
+ * partitioned engine replays the serial order bit-exactly, so its
+ * twin's flit counts match by construction).  Best-of-3 like the
+ * event-queue pass: every repetition simulates the identical seeded
  * run, so the fastest wall clock is the least-perturbed one.
  */
 Json
-measureNetwork(const char *name, double rate, Cycle warmup, Cycle measure)
+measureNetwork(const char *name, std::int32_t radix,
+               std::int32_t partitions, double rate, Cycle warmup,
+               Cycle measure)
 {
     double secs = 0.0;
     std::uint64_t events = 0;
     network::RunResults res;
     for (int rep = 0; rep < 3; ++rep) {
         network::NetworkConfig cfg;
+        cfg.radix = radix;
+        cfg.partitions = partitions;
         cfg.policy = network::PolicyKind::History;
         network::Network net(cfg);
         traffic::PatternTraffic traffic(
@@ -253,6 +268,8 @@ measureNetwork(const char *name, double rate, Cycle warmup, Cycle measure)
     Json j = Json::object();
     j["type"] = Json("micro");
     j["name"] = Json(name);
+    j["radix"] = Json(static_cast<std::int64_t>(radix));
+    j["partitions"] = Json(static_cast<std::int64_t>(partitions));
     j["rate_pkts_per_node_cycle"] = Json(rate);
     j["cycles"] = Json(static_cast<std::uint64_t>(warmup + measure));
     j["events"] = Json(events);
@@ -310,18 +327,32 @@ writeArtifact(const std::string &path, std::uint64_t seed,
     struct NetPoint
     {
         const char *name;
+        std::int32_t radix;
+        std::int32_t partitions;
         double rate;
     };
     constexpr NetPoint kNetPoints[] = {
-        {"network_8x8_history_uniform", 0.01},
-        {"network_8x8_history_lowload", 0.02},  // 0.1 flits/node/cycle
+        {"network_8x8_history_uniform", 8, 1, 0.01},
+        // 0.02 = 0.1 flits/node/cycle
+        {"network_8x8_history_lowload", 8, 1, 0.02},
         // Near saturation: every router steps nearly every cycle, so
         // this point is dominated by the fused drain/SA pass and link
         // batching rather than by idle-skipping.
-        {"network_8x8_history_saturated", 0.07},
+        {"network_8x8_history_saturated", 8, 1, 0.07},
+        // Partitioned twins: same specs stepped with 4 lockstep lanes.
+        // Identical simulated results by construction (the lockstep
+        // suite enforces it); the wall-clock ratio against the serial
+        // twin is the intra-run parallel speedup.  The 16x16 pair is
+        // the headline comparison — 256 routers give each lane enough
+        // work per quantum to amortize the barrier (EXPERIMENTS.md,
+        // "Partitioned stepping").
+        {"network_8x8_history_saturated_p4", 8, 4, 0.07},
+        {"network_16x16_history_loaded", 16, 1, 0.05},
+        {"network_16x16_history_loaded_p4", 16, 4, 0.05},
     };
     for (const NetPoint &pt : kNetPoints) {
-        Json nw = measureNetwork(pt.name, pt.rate, nwWarmup, nwMeasure);
+        Json nw = measureNetwork(pt.name, pt.radix, pt.partitions,
+                                 pt.rate, nwWarmup, nwMeasure);
         std::printf("  %s: %.3g cycles/sec, %.3g events/sec, "
                     "%.3g flits/sec\n",
                     pt.name, nw.find("cycles_per_sec")->asDouble(),

@@ -113,15 +113,15 @@ DvsChannel::send(const router::Flit &flit, Tick earliest)
         ++*ctrFlitsSent_;
 
     // Serialization (one link cycle) + fixed wire propagation.  The
-    // arrival is final here; when the sink is already non-empty the
-    // downstream router is awake (its pending-port bit stays set while
-    // the inbox holds anything), so a direct push costs nothing extra.
-    // Only a delivery that would land in an EMPTY inbox is deferred to
-    // a per-burst splice event at its arrival — that is the case where
+    // arrival is final here; while the downstream router is awake — the
+    // sink holds items (its pending-port bit stays set) or it drained
+    // the sink this very tick — a direct push costs nothing extra.
+    // Only a delivery whose receiver is provably idle is deferred to a
+    // per-burst splice event at its arrival — that is the case where
     // an immediate push would wake the idle receiver ~a dozen cycles
     // early and make it step uselessly until the flit is due.
     const Tick arrival = departure + period_ + params_.propagationDelay;
-    if (pendingFlits_.empty() && !flitSink_->empty()) {
+    if (pendingFlits_.empty() && flitSink_->ownerAwakeAt(kernel_.now())) {
         flitSink_->push(arrival, flit);
         return departure;
     }
@@ -145,11 +145,12 @@ DvsChannel::sendCredit(VcId vc, Tick now)
     const Tick arrival = std::max(now, disabledUntil_) + period_ +
                          params_.propagationDelay;
     // Same policy as flits — direct push while the receiver is already
-    // awake (non-empty sink), one splice event per batch otherwise —
-    // plus a near-arrival shortcut: a credit due within the horizon is
-    // cheaper to deliver eagerly than to schedule an event for.
+    // awake (sink non-empty or drained this tick), one splice event
+    // per batch otherwise — plus a near-arrival shortcut: a credit due
+    // within the horizon is cheaper to deliver eagerly than to
+    // schedule an event for.
     if (pendingCredits_.empty() &&
-        (!creditSink_->empty() ||
+        (creditSink_->ownerAwakeAt(now) ||
          arrival <= now + params_.creditDirectPushHorizon)) {
         creditSink_->push(arrival, vc);
         return;

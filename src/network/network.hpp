@@ -26,10 +26,14 @@
 #include "link/dvs_level.hpp"
 #include "link/dvs_link.hpp"
 #include "network/metrics.hpp"
+#include "network/partition.hpp"
 #include "power/energy_ledger.hpp"
+#include "router/deferred_ops.hpp"
 #include "router/router.hpp"
 #include "router/routing.hpp"
 #include "sim/kernel.hpp"
+#include "sim/lockstep_pool.hpp"
+#include "sim/merge_buffer.hpp"
 #include "topo/topology.hpp"
 #include "traffic/traffic.hpp"
 
@@ -77,6 +81,18 @@ struct NetworkConfig
     RoutingKind routing = RoutingKind::Dor;
 
     std::uint16_t packetLength = 5;  ///< flits per packet
+
+    /**
+     * Domain-decomposition width of the per-quantum router step: the
+     * mesh is split into this many contiguous node-id blocks, each
+     * stepped by its own thread under a barrier-synced quantum, with
+     * cross-partition channel calls buffered and replayed in
+     * deterministic (tick, seq) order — results are bit-identical to
+     * the serial stepper for any value (see DESIGN.md "Partitioned
+     * stepping").  Must be >= 1, at most the router count, and divide
+     * it evenly; 1 (the default) keeps the serial fast path.
+     */
+    std::int32_t partitions = 1;
 
     /**
      * Check the configuration for nonsense (radix < 2, zero VCs,
@@ -192,8 +208,9 @@ class Network
     /**
      * Routers currently in the activity-gated step set (including wakes
      * that join at the next clock edge).  Idle routers are skipped by
-     * stepCycle() and woken by inbox delivery, credit return, injection,
-     * or a DVS link re-enable — see DESIGN.md "Simulation core".
+     * stepQuantum() and woken by inbox delivery, credit return,
+     * injection, or a DVS link re-enable — see DESIGN.md "Simulation
+     * core".
      */
     std::size_t activeRouterCount() const
     {
@@ -240,10 +257,56 @@ class Network
         std::uint64_t created = 0;  ///< total packets generated here
     };
 
+    /**
+     * Per-partition op recorder: stamps each deferred channel call with
+     * the merge key that reproduces serial order — `when` = the quantum
+     * tick, `seq` = (router id << 16) | per-router op index.  One sink
+     * per partition lane; its owning worker calls beginRouter() before
+     * stepping each router of its block (ascending ids, so lane keys
+     * are strictly increasing as MergeBuffer requires).
+     */
+    class LaneSink final : public router::DeferredOpSink
+    {
+      public:
+        LaneSink(sim::MergeBuffer<router::DeferredOp> &buffer,
+                 std::size_t lane)
+            : buffer_(buffer), lane_(lane)
+        {}
+
+        void
+        beginRouter(NodeId node, Tick now)
+        {
+            node_ = node;
+            opIndex_ = 0;
+            now_ = now;
+        }
+
+        void
+        push(const router::DeferredOp &op) override
+        {
+            DVSNET_ASSERT(opIndex_ < 0x10000,
+                          "router op index overflows the seq field");
+            buffer_.push(lane_, now_,
+                         (static_cast<std::uint64_t>(node_) << 16) |
+                             opIndex_++,
+                         op);
+        }
+
+      private:
+        sim::MergeBuffer<router::DeferredOp> &buffer_;
+        std::size_t lane_;
+        NodeId node_ = 0;
+        std::uint64_t opIndex_ = 0;
+        Tick now_ = 0;
+    };
+
     void build();
     void startStepping();
     Tick routerClockEdgeAfterNow() const;
-    void stepCycle();
+    void stepQuantum();
+    void stepRoutersSerial(Tick now);
+    void stepRoutersPartitioned(Tick now);
+    Tick minCrossPartitionLatency() const;
     void injectFromQueue(NodeId node);
 
     /** Add a router to the step set (no-op if already active). */
@@ -281,6 +344,16 @@ class Network
     bool sourcesUnsorted_ = false;  ///< appended since the last edge sort
     std::vector<std::uint8_t> routerActive_;  ///< per-node membership flag
     std::vector<std::uint8_t> sourceActive_;  ///< per-node membership flag
+
+    // --- partitioned stepping (config_.partitions > 1 only) ---
+    // pool_ doubles as the engine-enabled flag; laneSlices_ holds the
+    // P+1 bounds of the per-partition sub-ranges of the sorted
+    // activeRouters_ snapshot, recomputed each quantum.
+    PartitionMap partitionMap_;
+    std::unique_ptr<sim::LockstepPool> pool_;
+    sim::MergeBuffer<router::DeferredOp> boundaryOps_;
+    std::vector<std::unique_ptr<LaneSink>> laneSinks_;
+    std::vector<std::size_t> laneSlices_;
 
     // Cached observability counters (registered in build()).
     std::uint64_t *ctrCycles_ = nullptr;

@@ -1,0 +1,20 @@
+#include "network/partition.hpp"
+
+#include "common/fatal.hpp"
+
+namespace dvsnet::network
+{
+
+PartitionMap
+PartitionMap::contiguous(NodeId numNodes, std::int32_t partitions)
+{
+    DVSNET_ASSERT(numNodes >= 1, "partition map needs >= 1 node");
+    DVSNET_ASSERT(partitions >= 1, "partition count must be >= 1");
+    DVSNET_ASSERT(partitions <= numNodes,
+                  "more partitions than routers");
+    DVSNET_ASSERT(numNodes % partitions == 0,
+                  "partitions must divide the node count");
+    return PartitionMap(partitions, numNodes / partitions);
+}
+
+} // namespace dvsnet::network

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Domain decomposition for partitioned stepping: node id -> partition.
+ *
+ * Nodes are split into `partitions` contiguous equal-size id blocks.
+ * Contiguity matters twice over: the sorted active-router set slices
+ * into per-partition sub-ranges with P binary searches, and the merge
+ * sequence number `(router id << 16) | op index` is automatically
+ * strictly increasing within each partition's lane (workers step their
+ * block in ascending id order).  Equal block sizes are enforced at
+ * config validation — `partitions` must divide the node count — so a
+ * run never silently load-imbalances.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace dvsnet::network
+{
+
+/** Contiguous equal-block node-to-partition assignment. */
+class PartitionMap
+{
+  public:
+    /** Trivial single-partition map. */
+    PartitionMap() : partitions_(1), nodesPerPartition_(0) {}
+
+    /**
+     * Build the map; `partitions` must be in [1, numNodes] and divide
+     * `numNodes` evenly (the caller validates with ConfigError first —
+     * this asserts).
+     */
+    static PartitionMap contiguous(NodeId numNodes,
+                                   std::int32_t partitions);
+
+    std::int32_t partitions() const { return partitions_; }
+
+    NodeId nodesPerPartition() const { return nodesPerPartition_; }
+
+    /** Partition owning node `n`. */
+    std::int32_t
+    ofNode(NodeId n) const
+    {
+        return static_cast<std::int32_t>(n / nodesPerPartition_);
+    }
+
+    /** First node id of partition `p` (== one-past-last of `p - 1`). */
+    NodeId
+    firstNode(std::int32_t p) const
+    {
+        return static_cast<NodeId>(p) * nodesPerPartition_;
+    }
+
+  private:
+    PartitionMap(std::int32_t partitions, NodeId nodesPerPartition)
+        : partitions_(partitions), nodesPerPartition_(nodesPerPartition)
+    {}
+
+    std::int32_t partitions_;
+    NodeId nodesPerPartition_;
+};
+
+} // namespace dvsnet::network

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Deferred channel operations for partitioned stepping.
+ *
+ * When a router steps inside a parallel quantum it must not touch
+ * anything outside its partition: channel sends schedule kernel
+ * events, charge the energy ledger, bump shared counters and push into
+ * other routers' inboxes — all serial-only state.  With a
+ * DeferredOpSink installed (network/partitioned stepping only), the
+ * router records each would-be channel call here instead of making it;
+ * the coordinator replays the recorded ops after the barrier in the
+ * exact order the serial stepper would have issued them, so every
+ * downstream effect (event sequence numbers, ledger entries, wake
+ * hooks, floating-point accumulation order) is bit-identical.
+ *
+ * Everything a router emits in a cycle goes through exactly two call
+ * sites (Router::applySwitchGrants): the upstream credit return and
+ * the output-channel flit send.  A DeferredOp captures either one.
+ */
+
+#pragma once
+
+#include "common/types.hpp"
+#include "router/flit.hpp"
+#include "router/link_iface.hpp"
+
+namespace dvsnet::router
+{
+
+/** One recorded channel call: a flit send or a credit return. */
+struct DeferredOp
+{
+    FlitChannel *link = nullptr;      ///< set: flit send
+    CreditChannel *credit = nullptr;  ///< set: credit return
+    Flit flit{};                      ///< payload for flit sends
+    VcId vc = 0;                      ///< payload for credit returns
+    Tick tick = 0;  ///< the call's tick argument (`earliest` / `now`)
+
+    /** Make the recorded call (coordinator thread only). */
+    void
+    apply() const
+    {
+        if (credit != nullptr)
+            credit->sendCredit(vc, tick);
+        else
+            link->send(flit, tick);
+    }
+};
+
+/** Where a deferring router records its ops (one lane per partition). */
+class DeferredOpSink
+{
+  public:
+    virtual ~DeferredOpSink() = default;
+
+    /** Record `op`; called in the router's serial program order. */
+    virtual void push(const DeferredOp &op) = 0;
+};
+
+} // namespace dvsnet::router

@@ -1,0 +1,75 @@
+#include "sim/lockstep_pool.hpp"
+
+namespace dvsnet::sim
+{
+
+LockstepPool::LockstepPool(std::size_t lanes)
+    : lanes_(lanes == 0 ? 1 : lanes)
+{
+    workers_.reserve(lanes_ - 1);
+    for (std::size_t lane = 1; lane < lanes_; ++lane)
+        workers_.emplace_back([this, lane] { workerLoop(lane); });
+}
+
+LockstepPool::~LockstepPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+    }
+    workCv_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+LockstepPool::run(const std::function<void(std::size_t)> &fn)
+{
+    if (lanes_ == 1) {
+        fn(0);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        fn_ = &fn;
+        pending_ = lanes_ - 1;
+        ++generation_;
+    }
+    workCv_.notify_all();
+
+    fn(0);
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    doneCv_.wait(lock, [this] { return pending_ == 0; });
+    fn_ = nullptr;
+}
+
+void
+LockstepPool::workerLoop(std::size_t lane)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        const std::function<void(std::size_t)> *fn = nullptr;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            workCv_.wait(lock, [this, seen] {
+                return shutdown_ || generation_ != seen;
+            });
+            if (shutdown_)
+                return;
+            seen = generation_;
+            fn = fn_;
+        }
+        (*fn)(lane);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (--pending_ == 0) {
+                // Last worker out signals the coordinator; notify under
+                // the lock so the condvar can't outlive a racing wait.
+                doneCv_.notify_one();
+            }
+        }
+    }
+}
+
+} // namespace dvsnet::sim

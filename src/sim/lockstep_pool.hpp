@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fork-join worker pool for barrier-synced partition stepping.
+ *
+ * A LockstepPool owns `lanes - 1` long-lived worker threads; lane 0
+ * always runs on the calling thread so a single-partition pool costs
+ * nothing.  `run(fn)` invokes `fn(lane)` once per lane concurrently
+ * and returns when every lane has finished — one fork-join per
+ * simulation quantum.
+ *
+ * Workers block on a condition variable between quanta rather than
+ * spinning: the simulator frequently runs on machines with fewer
+ * cores than partitions (CI containers in particular), where spinning
+ * workers would starve the lanes that still have work.  Hand-off cost
+ * is therefore two condvar signals per quantum per worker; callers
+ * that detect a near-idle quantum should skip the pool entirely and
+ * step inline (see Network's sequential-fallback threshold).
+ */
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dvsnet::sim
+{
+
+/** Reusable fork-join barrier over `lanes` concurrent lanes. */
+class LockstepPool
+{
+  public:
+    /** Spawns `lanes - 1` worker threads (none when lanes <= 1). */
+    explicit LockstepPool(std::size_t lanes);
+
+    /** Joins all workers; safe after any number of run() calls. */
+    ~LockstepPool();
+
+    LockstepPool(const LockstepPool &) = delete;
+    LockstepPool &operator=(const LockstepPool &) = delete;
+
+    std::size_t laneCount() const { return lanes_; }
+
+    /**
+     * Run `fn(lane)` for every lane in [0, laneCount()) concurrently
+     * and wait for all of them.  Lane 0 executes on the caller.  `fn`
+     * must not recurse into run().
+     */
+    void run(const std::function<void(std::size_t)> &fn);
+
+  private:
+    void workerLoop(std::size_t lane);
+
+    std::size_t lanes_;
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable workCv_;   ///< coordinator -> workers
+    std::condition_variable doneCv_;   ///< workers -> coordinator
+    const std::function<void(std::size_t)> *fn_ = nullptr;
+    std::uint64_t generation_ = 0;  ///< bumped once per run()
+    std::size_t pending_ = 0;       ///< workers still inside fn this run
+    bool shutdown_ = false;
+};
+
+} // namespace dvsnet::sim

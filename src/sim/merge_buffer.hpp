@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Deterministic boundary-merge buffer for partitioned stepping.
+ *
+ * During a parallel quantum each partition worker appends the channel
+ * operations its routers emit (flit sends, credit returns, ejections)
+ * to its own *lane*; nothing crosses a partition boundary mid-quantum.
+ * At the quantum barrier the coordinator replays every buffered entry
+ * through a k-way merge in ascending `(when, seq)` order.  With
+ * `seq = (router id << 16) | per-router op index` that order is exactly
+ * the order a serial stepper would have executed the operations in —
+ * ascending router id, program order within a router — so the replay
+ * reproduces the serial schedule bit-for-bit no matter how the lanes
+ * were filled concurrently.
+ *
+ * Keys must be strictly increasing within a lane (each lane is written
+ * by one worker stepping its routers in ascending id order), which is
+ * what makes the k-way merge a total, stable order.  The merge cursor
+ * is allocation-free across quanta: lanes and head indices are reused.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/fatal.hpp"
+#include "common/types.hpp"
+
+namespace dvsnet::sim
+{
+
+/** Per-lane ordered buffer merged deterministically by (when, seq). */
+template <typename T>
+class MergeBuffer
+{
+  public:
+    /** One buffered operation: merge key + payload. */
+    struct Entry
+    {
+        Tick when = 0;          ///< quantum tick the op was produced at
+        std::uint64_t seq = 0;  ///< total order within the quantum
+        T item{};
+    };
+
+    explicit MergeBuffer(std::size_t lanes = 0) { resize(lanes); }
+
+    /** Set the lane count (drops any buffered entries). */
+    void
+    resize(std::size_t lanes)
+    {
+        lanes_.assign(lanes, {});
+        heads_.assign(lanes, 0);
+    }
+
+    std::size_t laneCount() const { return lanes_.size(); }
+
+    /**
+     * Append an entry to `lane`.  Keys must be strictly increasing per
+     * lane; each lane has a single writer, so pushes to distinct lanes
+     * are safe concurrently.
+     */
+    void
+    push(std::size_t lane, Tick when, std::uint64_t seq, const T &item)
+    {
+        auto &q = lanes_[lane];
+        DVSNET_ASSERT(q.empty() || q.back().when < when ||
+                          (q.back().when == when && q.back().seq < seq),
+                      "merge-buffer lane keys must be strictly "
+                      "increasing");
+        q.push_back(Entry{when, seq, item});
+    }
+
+    /** Entries buffered across all lanes. */
+    std::size_t
+    size() const
+    {
+        std::size_t n = 0;
+        for (std::size_t l = 0; l < lanes_.size(); ++l)
+            n += lanes_[l].size() - heads_[l];
+        return n;
+    }
+
+    bool empty() const { return size() == 0; }
+
+    /**
+     * Peek the globally smallest un-consumed entry by (when, seq);
+     * nullptr when drained.  Single-threaded (coordinator only).
+     */
+    const Entry *
+    peekMerged() const
+    {
+        const Entry *best = nullptr;
+        for (std::size_t l = 0; l < lanes_.size(); ++l) {
+            if (heads_[l] == lanes_[l].size())
+                continue;
+            const Entry &head = lanes_[l][heads_[l]];
+            if (best == nullptr || head.when < best->when ||
+                (head.when == best->when && head.seq < best->seq)) {
+                best = &head;
+            }
+        }
+        return best;
+    }
+
+    /** Consume and return the entry peekMerged() reports. */
+    const Entry &
+    popMerged()
+    {
+        std::size_t bestLane = lanes_.size();
+        const Entry *best = nullptr;
+        for (std::size_t l = 0; l < lanes_.size(); ++l) {
+            if (heads_[l] == lanes_[l].size())
+                continue;
+            const Entry &head = lanes_[l][heads_[l]];
+            if (best == nullptr || head.when < best->when ||
+                (head.when == best->when && head.seq < best->seq)) {
+                best = &head;
+                bestLane = l;
+            }
+        }
+        DVSNET_ASSERT(best != nullptr, "popMerged on a drained buffer");
+        ++heads_[bestLane];
+        return *best;
+    }
+
+    /** Reset every lane (keeps capacity for the next quantum). */
+    void
+    clear()
+    {
+        for (std::size_t l = 0; l < lanes_.size(); ++l) {
+            lanes_[l].clear();
+            heads_[l] = 0;
+        }
+    }
+
+  private:
+    std::vector<std::vector<Entry>> lanes_;
+    std::vector<std::size_t> heads_;  ///< merge cursors, one per lane
+};
+
+} // namespace dvsnet::sim

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Property test for the boundary-merge buffer (sim/merge_buffer.hpp):
+ * random cross-partition delivery sequences pushed through per-lane
+ * buffers must drain in exactly the order a single global (when, seq)
+ * FIFO queue would produce — ascending keys, with FIFO stability
+ * guaranteed by key uniqueness (seq embeds the producing router id, so
+ * no two ops in a quantum share a key).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "sim/merge_buffer.hpp"
+
+using dvsnet::Tick;
+using dvsnet::sim::MergeBuffer;
+
+namespace
+{
+
+struct Op
+{
+    Tick when = 0;
+    std::uint64_t seq = 0;
+    std::uint32_t payload = 0;
+
+    bool operator==(const Op &) const = default;
+};
+
+/**
+ * Generate a random quantum's worth of boundary ops: `lanes` lanes,
+ * each lane a strictly increasing (when, seq) sequence (one writer
+ * stepping its routers in ascending id order), with router-id blocks
+ * disjoint across lanes as the partition map guarantees.
+ */
+std::vector<std::vector<Op>>
+randomLaneSequences(std::mt19937_64 &gen, std::size_t lanes,
+                    std::size_t maxOpsPerLane)
+{
+    std::uniform_int_distribution<std::size_t> countDist(0, maxOpsPerLane);
+    std::uniform_int_distribution<Tick> whenStep(0, 2);
+    std::uniform_int_distribution<std::uint64_t> seqStep(1, 5);
+    std::vector<std::vector<Op>> sequences(lanes);
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+        Tick when = 1000;
+        // Disjoint per-lane seq blocks, mirroring the engine's
+        // (router id << 16) stamping with contiguous node blocks.
+        std::uint64_t seq = static_cast<std::uint64_t>(lane) << 16;
+        const std::size_t count = countDist(gen);
+        for (std::size_t i = 0; i < count; ++i) {
+            when += whenStep(gen);
+            seq += seqStep(gen);
+            Op op;
+            op.when = when;
+            op.seq = seq;
+            op.payload = static_cast<std::uint32_t>(gen());
+            sequences[lane].push_back(op);
+        }
+    }
+    return sequences;
+}
+
+/** Reference model: one global queue, stably sorted by (when, seq). */
+std::vector<Op>
+referenceOrder(const std::vector<std::vector<Op>> &sequences)
+{
+    std::vector<Op> all;
+    for (const auto &lane : sequences)
+        all.insert(all.end(), lane.begin(), lane.end());
+    std::stable_sort(all.begin(), all.end(), [](const Op &a, const Op &b) {
+        return a.when != b.when ? a.when < b.when : a.seq < b.seq;
+    });
+    return all;
+}
+
+std::vector<Op>
+drainMerged(MergeBuffer<Op> &buffer)
+{
+    std::vector<Op> out;
+    while (const auto *e = buffer.peekMerged()) {
+        EXPECT_EQ(e->when, e->item.when);
+        EXPECT_EQ(e->seq, e->item.seq);
+        out.push_back(buffer.popMerged().item);
+    }
+    return out;
+}
+
+} // namespace
+
+TEST(MergeBuffer, RandomSequencesMatchSingleQueueReference)
+{
+    std::mt19937_64 gen(20260808);
+    for (int round = 0; round < 200; ++round) {
+        SCOPED_TRACE(testing::Message() << "round=" << round);
+        const std::size_t lanes =
+            std::uniform_int_distribution<std::size_t>(1, 8)(gen);
+        const auto sequences = randomLaneSequences(gen, lanes, 40);
+
+        MergeBuffer<Op> buffer(lanes);
+        for (std::size_t lane = 0; lane < lanes; ++lane)
+            for (const Op &op : sequences[lane])
+                buffer.push(lane, op.when, op.seq, op);
+
+        std::size_t total = 0;
+        for (const auto &lane : sequences)
+            total += lane.size();
+        EXPECT_EQ(buffer.size(), total);
+
+        EXPECT_EQ(drainMerged(buffer), referenceOrder(sequences));
+        EXPECT_TRUE(buffer.empty());
+    }
+}
+
+TEST(MergeBuffer, MergedOrderIsMonotoneByWhenThenSeq)
+{
+    std::mt19937_64 gen(77);
+    for (int round = 0; round < 50; ++round) {
+        const std::size_t lanes =
+            std::uniform_int_distribution<std::size_t>(2, 6)(gen);
+        const auto sequences = randomLaneSequences(gen, lanes, 30);
+        MergeBuffer<Op> buffer(lanes);
+        for (std::size_t lane = 0; lane < lanes; ++lane)
+            for (const Op &op : sequences[lane])
+                buffer.push(lane, op.when, op.seq, op);
+
+        Tick lastWhen = 0;
+        std::uint64_t lastSeq = 0;
+        bool first = true;
+        while (!buffer.empty()) {
+            const auto &e = buffer.popMerged();
+            if (!first) {
+                EXPECT_TRUE(e.when > lastWhen ||
+                            (e.when == lastWhen && e.seq > lastSeq))
+                    << "merge emitted (" << e.when << ", " << e.seq
+                    << ") after (" << lastWhen << ", " << lastSeq << ")";
+            }
+            lastWhen = e.when;
+            lastSeq = e.seq;
+            first = false;
+        }
+    }
+}
+
+TEST(MergeBuffer, ClearReusesLanesAcrossQuanta)
+{
+    MergeBuffer<Op> buffer(2);
+    for (int quantum = 0; quantum < 3; ++quantum) {
+        const Tick when = 1000 * (quantum + 1);
+        buffer.push(0, when, 1, Op{when, 1, 10});
+        buffer.push(1, when, 2, Op{when, 2, 20});
+        EXPECT_EQ(buffer.size(), 2u);
+        EXPECT_EQ(buffer.popMerged().seq, 1u);
+        EXPECT_EQ(buffer.popMerged().seq, 2u);
+        EXPECT_TRUE(buffer.empty());
+        buffer.clear();
+    }
+}
