@@ -174,18 +174,23 @@ BENCHMARK(BM_NetworkCyclesPerSecond)
     ->Unit(benchmark::kMillisecond);
 
 /**
- * Timed event-queue pass: steady-state schedule+execute at depth 1024.
- * Reports events/sec and ns/event — the simulator's hottest loop.
- * Best-of-3: the pass is short enough that scheduler preemption on a
- * shared machine dominates single-run variance; the fastest repetition
- * is the least-perturbed estimate of the code's actual cost.
+ * Timed event-queue pass: steady-state schedule+execute at depth 1024
+ * on a wheel of the given geometry.  Reports events/sec and ns/event —
+ * the simulator's hottest loop.  Best-of-3: the pass is short enough
+ * that scheduler preemption on a shared machine dominates single-run
+ * variance; the fastest repetition is the least-perturbed estimate of
+ * the code's actual cost.  The default-geometry point keeps its
+ * historical name "event_queue_schedule_execute"; the wheel-geometry
+ * sweep entries are named event_queue_wheel_s<shift>_b<buckets>.
  */
 Json
-measureEventQueue(std::uint64_t events)
+measureEventQueue(std::uint64_t events,
+                  const char *name = "event_queue_schedule_execute",
+                  sim::EventQueueConfig wheel = {})
 {
     double secs = 0.0;
     for (int rep = 0; rep < 3; ++rep) {
-        sim::EventQueue q;
+        sim::EventQueue q(wheel);
         Tick t = 0;
         for (std::size_t i = 0; i < 1024; ++i)
             q.schedule(++t, [] {});
@@ -204,8 +209,11 @@ measureEventQueue(std::uint64_t events)
 
     Json j = Json::object();
     j["type"] = Json("micro");
-    j["name"] = Json("event_queue_schedule_execute");
+    j["name"] = Json(name);
     j["events"] = Json(events);
+    j["bucket_shift"] = Json(static_cast<std::int64_t>(wheel.bucketShift));
+    j["num_buckets"] =
+        Json(static_cast<std::uint64_t>(wheel.numBuckets));
     j["wall_seconds"] = Json(secs);
     j["events_per_sec"] = Json(static_cast<double>(events) / secs);
     j["ns_per_event"] = Json(secs * 1e9 / static_cast<double>(events));
@@ -231,8 +239,8 @@ measureEventQueue(std::uint64_t events)
  */
 Json
 measureNetwork(const char *name, std::int32_t radix,
-               std::int32_t partitions, double rate, Cycle warmup,
-               Cycle measure)
+               std::int32_t partitions, std::int32_t numVcs, double rate,
+               Cycle warmup, Cycle measure)
 {
     double secs = 0.0;
     std::uint64_t events = 0;
@@ -241,6 +249,7 @@ measureNetwork(const char *name, std::int32_t radix,
         network::NetworkConfig cfg;
         cfg.radix = radix;
         cfg.partitions = partitions;
+        cfg.router.numVcs = numVcs;
         cfg.policy = network::PolicyKind::History;
         network::Network net(cfg);
         traffic::PatternTraffic traffic(
@@ -270,6 +279,7 @@ measureNetwork(const char *name, std::int32_t radix,
     j["name"] = Json(name);
     j["radix"] = Json(static_cast<std::int64_t>(radix));
     j["partitions"] = Json(static_cast<std::int64_t>(partitions));
+    j["num_vcs"] = Json(static_cast<std::int64_t>(numVcs));
     j["rate_pkts_per_node_cycle"] = Json(rate);
     j["cycles"] = Json(static_cast<std::uint64_t>(warmup + measure));
     j["events"] = Json(events);
@@ -317,11 +327,32 @@ writeArtifact(const std::string &path, std::uint64_t seed,
     Json results = Json::array();
     // Quick mode keeps 1M events: shorter passes are cheap but so noisy
     // under machine contention that the CI perf guard false-fires.
-    Json eq = measureEventQueue(quick ? 1000000 : 2000000);
+    const std::uint64_t eqEvents = quick ? 1000000 : 2000000;
+    Json eq = measureEventQueue(eqEvents);
     std::printf("  event queue: %.3g events/sec (%.1f ns/event)\n",
                 eq.find("events_per_sec")->asDouble(),
                 eq.find("ns_per_event")->asDouble());
     results.push(std::move(eq));
+
+    // Time-wheel geometry sweep (bucket width x bucket count): the data
+    // behind the recommended EventQueueConfig defaults in
+    // EXPERIMENTS.md.  Every geometry is semantics-preserving (the
+    // event-queue test suite pins that), so this is purely a perf map.
+    for (const int shift : {4, 6, 8, 10}) {
+        for (const std::size_t buckets : {std::size_t{1024},
+                                          std::size_t{4096}}) {
+            char wheelName[64];
+            std::snprintf(wheelName, sizeof wheelName,
+                          "event_queue_wheel_s%d_b%zu", shift, buckets);
+            Json w = measureEventQueue(eqEvents, wheelName,
+                                      {shift, buckets});
+            std::printf("  %s: %.3g events/sec (%.1f ns/event)\n",
+                        wheelName,
+                        w.find("events_per_sec")->asDouble(),
+                        w.find("ns_per_event")->asDouble());
+            results.push(std::move(w));
+        }
+    }
     const Cycle nwWarmup = quick ? 500 : 2000;
     const Cycle nwMeasure = quick ? 2000 : 20000;
     struct NetPoint
@@ -329,16 +360,17 @@ writeArtifact(const std::string &path, std::uint64_t seed,
         const char *name;
         std::int32_t radix;
         std::int32_t partitions;
+        std::int32_t numVcs;
         double rate;
     };
     constexpr NetPoint kNetPoints[] = {
-        {"network_8x8_history_uniform", 8, 1, 0.01},
+        {"network_8x8_history_uniform", 8, 1, 2, 0.01},
         // 0.02 = 0.1 flits/node/cycle
-        {"network_8x8_history_lowload", 8, 1, 0.02},
+        {"network_8x8_history_lowload", 8, 1, 2, 0.02},
         // Near saturation: every router steps nearly every cycle, so
         // this point is dominated by the fused drain/SA pass and link
         // batching rather than by idle-skipping.
-        {"network_8x8_history_saturated", 8, 1, 0.07},
+        {"network_8x8_history_saturated", 8, 1, 2, 0.07},
         // Partitioned twins: same specs stepped with 4 lockstep lanes.
         // Identical simulated results by construction (the lockstep
         // suite enforces it); the wall-clock ratio against the serial
@@ -346,13 +378,20 @@ writeArtifact(const std::string &path, std::uint64_t seed,
         // the headline comparison — 256 routers give each lane enough
         // work per quantum to amortize the barrier (EXPERIMENTS.md,
         // "Partitioned stepping").
-        {"network_8x8_history_saturated_p4", 8, 4, 0.07},
-        {"network_16x16_history_loaded", 16, 1, 0.05},
-        {"network_16x16_history_loaded_p4", 16, 4, 0.05},
+        {"network_8x8_history_saturated_p4", 8, 4, 2, 0.07},
+        {"network_16x16_history_loaded", 16, 1, 2, 0.05},
+        {"network_16x16_history_loaded_p4", 16, 4, 2, 0.05},
+        // Wide-geometry points: dense input-VC spaces past the 64-bit
+        // single-word boundary (5 ports x 16 VCs = 80 and 5 x 13 = 65),
+        // exercising the multi-word InputVcSet scans end to end
+        // (EXPERIMENTS.md, "Wide-geometry fast path").
+        {"network_8x8_history_wide16vc", 8, 1, 16, 0.05},
+        {"network_16x16_history_wide13vc", 16, 1, 13, 0.05},
     };
     for (const NetPoint &pt : kNetPoints) {
         Json nw = measureNetwork(pt.name, pt.radix, pt.partitions,
-                                 pt.rate, nwWarmup, nwMeasure);
+                                 pt.numVcs, pt.rate, nwWarmup,
+                                 nwMeasure);
         std::printf("  %s: %.3g cycles/sec, %.3g events/sec, "
                     "%.3g flits/sec\n",
                     pt.name, nw.find("cycles_per_sec")->asDouble(),

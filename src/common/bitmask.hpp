@@ -1,0 +1,248 @@
+/**
+ * @file
+ * Fixed-capacity multi-word bitset for the simulator's activity masks.
+ *
+ * The router and allocators keep their per-VC pipeline state as dense
+ * bitmasks (bit index = vcIndex(port, vc)) so the per-cycle stage scans
+ * are popcount-bounded instead of geometry-bounded.  Historically those
+ * masks were single `std::uint64_t` words, which capped a router at 64
+ * input VCs; BitMask<N> removes the cap while keeping the ≤64-bit case
+ * on the same codegen — the word count is a compile-time constant, so
+ * for N <= 64 every loop below collapses to the original single-word
+ * instruction sequence (no loop, no branch on word count).
+ *
+ * Only the operations the hot paths need are provided: set/reset/test,
+ * word-at-a-time OR, first-set scans (including the rotate-based
+ * round-robin scan `firstSetAtOrAfter`), a windowed extract for
+ * per-port slices, popcount, and forEachSetBit.
+ */
+
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace dvsnet
+{
+
+/** Fixed-capacity bitset of N bits stored as (N+63)/64 words. */
+template <std::size_t N>
+class BitMask
+{
+  public:
+    static_assert(N >= 1, "BitMask needs at least one bit");
+
+    /** Bits this mask can hold. */
+    static constexpr std::size_t kCapacity = N;
+
+    /** 64-bit words backing the mask. */
+    static constexpr std::size_t kWords = (N + 63) / 64;
+
+    constexpr BitMask() = default;
+
+    /** All bits cleared? */
+    bool
+    none() const
+    {
+        std::uint64_t acc = 0;
+        for (std::size_t w = 0; w < kWords; ++w)
+            acc |= words_[w];
+        return acc == 0;
+    }
+
+    /** Any bit set? */
+    bool any() const { return !none(); }
+
+    /** Number of set bits. */
+    std::int32_t
+    popcount() const
+    {
+        std::int32_t n = 0;
+        for (std::size_t w = 0; w < kWords; ++w)
+            n += std::popcount(words_[w]);
+        return n;
+    }
+
+    /** Set bit `i`. */
+    void
+    set(std::int32_t i)
+    {
+        words_[wordOf(i)] |= bitOf(i);
+    }
+
+    /** Clear bit `i`. */
+    void
+    reset(std::int32_t i)
+    {
+        words_[wordOf(i)] &= ~bitOf(i);
+    }
+
+    /** Is bit `i` set? */
+    bool
+    test(std::int32_t i) const
+    {
+        return (words_[wordOf(i)] & bitOf(i)) != 0;
+    }
+
+    /** Clear every bit. */
+    void
+    clear()
+    {
+        for (std::size_t w = 0; w < kWords; ++w)
+            words_[w] = 0;
+    }
+
+    /** Index of the lowest set bit, or -1 if none. */
+    std::int32_t
+    firstSet() const
+    {
+        for (std::size_t w = 0; w < kWords; ++w) {
+            if (words_[w] != 0) {
+                return static_cast<std::int32_t>(w * 64) +
+                       std::countr_zero(words_[w]);
+            }
+        }
+        return -1;
+    }
+
+    /**
+     * Index of the lowest set bit at position >= `from`, or -1 if none.
+     * With the wrap-to-firstSet() fallback this is the rotate-based
+     * round-robin scan the arbiters run (see RoundRobinArbiter).
+     */
+    std::int32_t
+    firstSetAtOrAfter(std::int32_t from) const
+    {
+        if (from <= 0)
+            return firstSet();
+        if (static_cast<std::size_t>(from) >= N)
+            return -1;
+        std::size_t w = wordOf(from);
+        const std::uint64_t head =
+            words_[w] & (~std::uint64_t{0} << (from & 63));
+        if (head != 0)
+            return static_cast<std::int32_t>(w * 64) +
+                   std::countr_zero(head);
+        for (++w; w < kWords; ++w) {
+            if (words_[w] != 0) {
+                return static_cast<std::int32_t>(w * 64) +
+                       std::countr_zero(words_[w]);
+            }
+        }
+        return -1;
+    }
+
+    /**
+     * Extract `width` (<= 64) bits starting at bit `pos` as a word —
+     * the per-port VC-state slice (pos = port * numVcs, width =
+     * numVcs) used by the fused drain/SA pass.  Bits beyond kCapacity
+     * read as zero.
+     */
+    std::uint64_t
+    extract(std::int32_t pos, std::int32_t width) const
+    {
+        const std::size_t w = wordOf(pos);
+        const std::int32_t shift = pos & 63;
+        std::uint64_t value = words_[w] >> shift;
+        if (shift != 0 && w + 1 < kWords)
+            value |= words_[w + 1] << (64 - shift);
+        if (width < 64)
+            value &= (std::uint64_t{1} << width) - 1;
+        return value;
+    }
+
+    /**
+     * Invoke `fn(index)` for every set bit in ascending order.  The
+     * iteration reads a snapshot word at a time, so `fn` may freely
+     * mutate *other* BitMask instances (the stage scans clear bits from
+     * the live masks while walking a copy).
+     */
+    template <typename Fn>
+    void
+    forEachSetBit(Fn &&fn) const
+    {
+        for (std::size_t w = 0; w < kWords; ++w) {
+            std::uint64_t word = words_[w];
+            while (word != 0) {
+                const std::int32_t bit = std::countr_zero(word);
+                word &= word - 1;
+                fn(static_cast<std::int32_t>(w * 64) + bit);
+            }
+        }
+    }
+
+    BitMask &
+    operator|=(const BitMask &other)
+    {
+        for (std::size_t w = 0; w < kWords; ++w)
+            words_[w] |= other.words_[w];
+        return *this;
+    }
+
+    BitMask &
+    operator&=(const BitMask &other)
+    {
+        for (std::size_t w = 0; w < kWords; ++w)
+            words_[w] &= other.words_[w];
+        return *this;
+    }
+
+    friend BitMask
+    operator|(BitMask a, const BitMask &b)
+    {
+        a |= b;
+        return a;
+    }
+
+    friend BitMask
+    operator&(BitMask a, const BitMask &b)
+    {
+        a &= b;
+        return a;
+    }
+
+    /** Clear every bit that is set in `other`. */
+    void
+    andNot(const BitMask &other)
+    {
+        for (std::size_t w = 0; w < kWords; ++w)
+            words_[w] &= ~other.words_[w];
+    }
+
+    friend bool
+    operator==(const BitMask &a, const BitMask &b)
+    {
+        for (std::size_t w = 0; w < kWords; ++w) {
+            if (a.words_[w] != b.words_[w])
+                return false;
+        }
+        return true;
+    }
+
+    friend bool operator!=(const BitMask &a, const BitMask &b)
+    {
+        return !(a == b);
+    }
+
+    /** Raw word access (tests and diagnostics). */
+    std::uint64_t word(std::size_t w) const { return words_[w]; }
+
+  private:
+    static constexpr std::size_t
+    wordOf(std::int32_t i)
+    {
+        return static_cast<std::size_t>(i) / 64;
+    }
+
+    static constexpr std::uint64_t
+    bitOf(std::int32_t i)
+    {
+        return std::uint64_t{1} << (static_cast<std::size_t>(i) & 63);
+    }
+
+    std::array<std::uint64_t, kWords> words_{};
+};
+
+} // namespace dvsnet

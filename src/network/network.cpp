@@ -95,18 +95,15 @@ NetworkConfig::validate() const
         complain("radix must be >= 2 (got ", radix, ")");
     if (dims < 1)
         complain("dims must be >= 1 (got ", dims, ")");
-    if (router.numVcs < 1)
-        complain("router.numVcs must be >= 1 (got ", router.numVcs, ")");
-    else if (router.bufferPerPort <
-             static_cast<std::size_t>(router.numVcs)) {
-        complain("router.bufferPerPort (", router.bufferPerPort,
-                 ") leaves no buffer slot per VC (numVcs = ",
-                 router.numVcs, ")");
-    }
-    if (router.pipelineLatency < 3) {
-        complain("router.pipelineLatency must cover the 3 allocation "
-                 "stages (got ", router.pipelineLatency, ")");
-    }
+    // Router geometry (numVcs bounds, buffer split, pipeline depth,
+    // mask capacities): fold in RouterConfig::validate() with the port
+    // count the topology derives (2 per dimension + terminal).  A
+    // nonsense dims falls back to 1 so the VC/buffer/pipeline checks
+    // still run alongside the dims complaint above.
+    router::RouterConfig derived = router;
+    derived.numPorts = 2 * std::max<std::int32_t>(dims, 1) + 1;
+    for (const auto &problem : derived.validate())
+        problems.push_back("router: " + problem);
     if (packetLength < 1)
         complain("packetLength must be >= 1 flit");
     if (link.linksPerChannel < 1)
@@ -558,7 +555,7 @@ Network::stepRoutersPartitioned(Tick now)
     for (std::size_t i = 0; i < count; ++i) {
         const NodeId n = activeRouters_[i];
         while (const auto *e = boundaryOps_.peekMerged()) {
-            if (static_cast<NodeId>(e->seq >> 16) != n)
+            if (static_cast<NodeId>(e->seq >> 32) != n)
                 break;
             e->item.apply();
             boundaryOps_.popMerged();

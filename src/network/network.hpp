@@ -260,7 +260,7 @@ class Network
     /**
      * Per-partition op recorder: stamps each deferred channel call with
      * the merge key that reproduces serial order — `when` = the quantum
-     * tick, `seq` = (router id << 16) | per-router op index.  One sink
+     * tick, `seq` = (router id << 32) | per-router op index.  One sink
      * per partition lane; its owning worker calls beginRouter() before
      * stepping each router of its block (ascending ids, so lane keys
      * are strictly increasing as MergeBuffer requires).
@@ -284,10 +284,12 @@ class Network
         void
         push(const router::DeferredOp &op) override
         {
-            DVSNET_ASSERT(opIndex_ < 0x10000,
+            // 32 op-index bits: even a kMaxPorts * kMaxVcsPerPort router
+            // emits far fewer ops per cycle than 2^32.
+            DVSNET_ASSERT(opIndex_ < (std::uint64_t{1} << 32),
                           "router op index overflows the seq field");
             buffer_.push(lane_, now_,
-                         (static_cast<std::uint64_t>(node_) << 16) |
+                         (static_cast<std::uint64_t>(node_) << 32) |
                              opIndex_++,
                          op);
         }

@@ -14,12 +14,19 @@ SeparableVcAllocator::SeparableVcAllocator(PortId numPorts,
 {
     DVSNET_ASSERT(numPorts > 0 && numVcs > 0 && numRequesters > 0,
                   "invalid VC allocator geometry");
-    DVSNET_ASSERT(numVcs <= 32, "vcMask is 32 bits wide");
+    // Capacity checks against the mask widths in router/limits.hpp.
+    // User-facing geometry validation happens in RouterConfig::validate()
+    // before any allocator is constructed; tripping these means a caller
+    // bypassed it.
+    DVSNET_ASSERT(numPorts <= kMaxPorts, "port set exceeds kMaxPorts");
+    DVSNET_ASSERT(numVcs <= kMaxVcsPerPort,
+                  "vcMask exceeds kMaxVcsPerPort bits");
+    DVSNET_ASSERT(numRequesters <= kMaxInputVcs,
+                  "requester set exceeds kMaxInputVcs");
     arbiters_.reserve(static_cast<std::size_t>(numPorts) *
                       static_cast<std::size_t>(numVcs));
     for (std::int32_t i = 0; i < numPorts * numVcs; ++i)
         arbiters_.emplace_back(numRequesters);
-    reqMatrix_.assign(static_cast<std::size_t>(numRequesters), false);
     freeMasks_.assign(static_cast<std::size_t>(numPorts), 0);
 }
 
@@ -53,87 +60,46 @@ SeparableVcAllocator::allocate(
     if (requests.empty())
         return grants_;
 
-    if (numRequesters_ <= 64) {
-        // Fast path: requester sets fit one word.  Resource order
-        // (port asc, vc asc) and per-resource round-robin are identical
-        // to the wide path below.
-        std::uint64_t granted = 0;
-        for (PortId port = 0; port < numPorts_; ++port) {
-            // Union of VCs requested at this port — skips free
-            // resources nobody wants without scanning the requests.
-            std::uint32_t wanted = 0;
-            for (const auto &req : requests) {
-                if (req.outPort == port)
-                    wanted |= req.vcMask;
-            }
-            std::uint32_t effective =
-                wanted & freeVcMasks[static_cast<std::size_t>(port)];
-            while (effective != 0) {
-                const VcId vc = std::countr_zero(effective);
-                effective &= effective - 1;
-                std::uint64_t reqMask = 0;
-                for (const auto &req : requests) {
-                    DVSNET_ASSERT(req.requester >= 0 &&
-                                      req.requester < numRequesters_,
-                                  "requester index out of range");
-                    if (req.outPort == port &&
-                        (req.vcMask & (1u << vc)) != 0 &&
-                        (granted &
-                         (std::uint64_t{1} << req.requester)) == 0) {
-                        reqMask |= std::uint64_t{1} << req.requester;
-                    }
-                }
-                if (reqMask == 0)
-                    continue;
-                auto &arb =
-                    arbiters_[static_cast<std::size_t>(port) *
-                                  static_cast<std::size_t>(numVcs_) +
-                              static_cast<std::size_t>(vc)];
-                const std::int32_t winner = arb.arbitrateMask(reqMask);
-                if (winner >= 0) {
-                    grants_.push_back({winner, port, vc});
-                    granted |= std::uint64_t{1} << winner;
-                }
-            }
-        }
-        return grants_;
-    }
-
-    // Wide-geometry path (> 64 input VCs): same algorithm on
-    // vector<bool> scratch.
-    std::vector<bool> requesterGranted(
-        static_cast<std::size_t>(numRequesters_), false);
+    // Requester sets are InputVcSet words: one 64-bit word for classic
+    // geometries (identical codegen to the old single-word path), more
+    // only when numPorts * numVcs > 64.  Resources are visited in
+    // ascending (port, vc) order; each free resource somebody wants
+    // round-robins over its not-yet-granted requesters.
+    InputVcSet granted;
     for (PortId port = 0; port < numPorts_; ++port) {
-        for (VcId vc = 0; vc < numVcs_; ++vc) {
-            if ((freeVcMasks[static_cast<std::size_t>(port)] &
-                 (1u << vc)) == 0)
-                continue;
-
-            std::fill(reqMatrix_.begin(), reqMatrix_.end(), false);
-            bool any = false;
+        // Union of VCs requested at this port — skips free resources
+        // nobody wants without scanning the requests.
+        std::uint32_t wanted = 0;
+        for (const auto &req : requests) {
+            if (req.outPort == port)
+                wanted |= req.vcMask;
+        }
+        std::uint32_t effective =
+            wanted & freeVcMasks[static_cast<std::size_t>(port)];
+        while (effective != 0) {
+            const VcId vc = std::countr_zero(effective);
+            effective &= effective - 1;
+            InputVcSet reqMask;
             for (const auto &req : requests) {
                 DVSNET_ASSERT(req.requester >= 0 &&
-                              req.requester < numRequesters_,
+                                  req.requester < numRequesters_,
                               "requester index out of range");
                 if (req.outPort == port &&
                     (req.vcMask & (1u << vc)) != 0 &&
-                    !requesterGranted[
-                        static_cast<std::size_t>(req.requester)]) {
-                    reqMatrix_[static_cast<std::size_t>(req.requester)] =
-                        true;
-                    any = true;
+                    !granted.test(req.requester)) {
+                    reqMask.set(req.requester);
                 }
             }
-            if (!any)
+            if (reqMask.none())
                 continue;
-
-            auto &arb = arbiters_[static_cast<std::size_t>(port) *
-                                  static_cast<std::size_t>(numVcs_) +
-                                  static_cast<std::size_t>(vc)];
-            const std::int32_t winner = arb.arbitrate(reqMatrix_);
+            auto &arb =
+                arbiters_[static_cast<std::size_t>(port) *
+                              static_cast<std::size_t>(numVcs_) +
+                          static_cast<std::size_t>(vc)];
+            const std::int32_t winner = arb.arbitrateMask(reqMask);
             if (winner >= 0) {
                 grants_.push_back({winner, port, vc});
-                requesterGranted[static_cast<std::size_t>(winner)] = true;
+                granted.set(winner);
             }
         }
     }
@@ -146,8 +112,10 @@ SeparableSwitchAllocator::SeparableSwitchAllocator(PortId numPorts,
 {
     DVSNET_ASSERT(numPorts > 0 && numVcs > 0,
                   "invalid switch allocator geometry");
-    DVSNET_ASSERT(numPorts <= 64 && numVcs <= 32,
-                  "switch allocator uses bitmask arbitration");
+    // Capacity checks against router/limits.hpp mask widths; geometry
+    // validation proper lives in RouterConfig::validate().
+    DVSNET_ASSERT(numPorts <= kMaxPorts && numVcs <= kMaxVcsPerPort,
+                  "switch allocator mask capacity exceeded");
     inputStage_.reserve(static_cast<std::size_t>(numPorts));
     outputStage_.reserve(static_cast<std::size_t>(numPorts));
     for (PortId p = 0; p < numPorts; ++p) {
@@ -156,7 +124,7 @@ SeparableSwitchAllocator::SeparableSwitchAllocator(PortId numPorts,
     }
     stageOne_.assign(static_cast<std::size_t>(numPorts), -1);
     vcReqMasks_.assign(static_cast<std::size_t>(numPorts), 0);
-    outContenders_.assign(static_cast<std::size_t>(numPorts), 0);
+    outContenders_.assign(static_cast<std::size_t>(numPorts), PortSet{});
     outPortOf_.assign(static_cast<std::size_t>(numPorts) *
                           static_cast<std::size_t>(numVcs),
                       kInvalidId);
@@ -174,14 +142,14 @@ SeparableSwitchAllocator::allocate(
     // builds the per-port VC masks and the output port per (port, vc) —
     // the first request for a (port, vc) wins, matching the winner the
     // original inner scans would find.
-    std::uint64_t reqPorts = 0;
+    PortSet reqPorts;
     for (const auto &req : requests) {
         DVSNET_ASSERT(req.inVc >= 0 && req.inVc < numVcs_,
                       "inVc out of range");
         const std::uint32_t bit = 1u << req.inVc;
         auto &mask = vcReqMasks_[static_cast<std::size_t>(req.inPort)];
-        if ((reqPorts & (std::uint64_t{1} << req.inPort)) == 0) {
-            reqPorts |= std::uint64_t{1} << req.inPort;
+        if (!reqPorts.test(req.inPort)) {
+            reqPorts.set(req.inPort);
             mask = 0;  // first touch this call: clear stale bits
         }
         if ((mask & bit) == 0) {
@@ -197,10 +165,10 @@ SeparableSwitchAllocator::allocate(
 const std::vector<SwitchGrant> &
 SeparableSwitchAllocator::allocateMasks(
     const std::vector<std::uint32_t> &vcReqMasks,
-    const std::vector<PortId> &outPorts, std::uint64_t reqPorts)
+    const std::vector<PortId> &outPorts, const PortSet &reqPorts)
 {
     grants_.clear();
-    if (reqPorts == 0)
+    if (reqPorts.none())
         return grants_;
 
     // Stage 1: each requesting input port picks one of its VCs.
@@ -209,11 +177,8 @@ SeparableSwitchAllocator::allocateMasks(
     // cleared lazily on an output's first contender this call), so
     // stage 2 never rescans the input ports.  Ports outside reqPorts
     // are never read below, so stale scratch entries are harmless.
-    std::uint64_t outRequested = 0;  // output ports with any contender
-    std::uint64_t ports = reqPorts;
-    while (ports != 0) {
-        const PortId p = std::countr_zero(ports);
-        ports &= ports - 1;
+    PortSet outRequested;  // output ports with any contender
+    reqPorts.forEachSetBit([&](std::int32_t p) {
         const std::uint32_t mask =
             vcReqMasks[static_cast<std::size_t>(p)];
         DVSNET_ASSERT(mask != 0, "requesting port without VC bits");
@@ -225,21 +190,17 @@ SeparableSwitchAllocator::allocateMasks(
                 outPorts[static_cast<std::size_t>(p) *
                              static_cast<std::size_t>(numVcs_) +
                          static_cast<std::size_t>(vcWin)];
-            const std::uint64_t outBit = std::uint64_t{1} << out;
-            if ((outRequested & outBit) == 0) {
-                outRequested |= outBit;
-                outContenders_[static_cast<std::size_t>(out)] = 0;
+            if (!outRequested.test(out)) {
+                outRequested.set(out);
+                outContenders_[static_cast<std::size_t>(out)].clear();
             }
-            outContenders_[static_cast<std::size_t>(out)] |=
-                std::uint64_t{1} << p;
+            outContenders_[static_cast<std::size_t>(out)].set(p);
         }
-    }
+    });
 
     // Stage 2: each output port picks one stage-1 winner targeting it
     // (ascending output-port order, as before).
-    while (outRequested != 0) {
-        const PortId out = std::countr_zero(outRequested);
-        outRequested &= outRequested - 1;
+    outRequested.forEachSetBit([&](std::int32_t out) {
         const std::int32_t pWin =
             outputStage_[static_cast<std::size_t>(out)].arbitrateMask(
                 outContenders_[static_cast<std::size_t>(out)]);
@@ -248,7 +209,7 @@ SeparableSwitchAllocator::allocateMasks(
                 stageOne_[static_cast<std::size_t>(pWin)];
             grants_.push_back({pWin, vcWin, out});
         }
-    }
+    });
     return grants_;
 }
 

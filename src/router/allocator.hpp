@@ -13,6 +13,7 @@
 
 #include "common/types.hpp"
 #include "router/arbiter.hpp"
+#include "router/limits.hpp"
 
 namespace dvsnet::router
 {
@@ -77,7 +78,6 @@ class SeparableVcAllocator
     std::int32_t numVcs_;
     std::int32_t numRequesters_;
     std::vector<RoundRobinArbiter> arbiters_;  ///< per (port, vc)
-    std::vector<bool> reqMatrix_;              ///< scratch (wide geometries)
     std::vector<std::uint32_t> freeMasks_;     ///< scratch (predicate shim)
     std::vector<VcGrant> grants_;              ///< scratch (returned)
 };
@@ -130,7 +130,7 @@ class SeparableSwitchAllocator
     const std::vector<SwitchGrant> &
     allocateMasks(const std::vector<std::uint32_t> &vcReqMasks,
                   const std::vector<PortId> &outPorts,
-                  std::uint64_t reqPorts);
+                  const PortSet &reqPorts);
 
   private:
     PortId numPorts_;
@@ -142,7 +142,7 @@ class SeparableSwitchAllocator
     std::vector<std::int32_t> stageOne_;          ///< winning VC per port
     std::vector<std::uint32_t> vcReqMasks_;       ///< per input port
     std::vector<PortId> outPortOf_;               ///< per (port, vc)
-    std::vector<std::uint64_t> outContenders_;    ///< stage-2 input sets
+    std::vector<PortSet> outContenders_;          ///< stage-2 input sets
     std::vector<SwitchGrant> grants_;             ///< returned
 };
 

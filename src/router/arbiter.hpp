@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/bitmask.hpp"
 #include "common/fatal.hpp"
 
 namespace dvsnet::router
@@ -75,6 +76,29 @@ class RoundRobinArbiter final : public Arbiter
             requests & (~std::uint64_t{0} << next_);
         const std::int32_t idx = std::countr_zero(
             fromNext != 0 ? fromNext : requests);
+        next_ = (idx + 1) % n_;
+        return idx;
+    }
+
+    /**
+     * Multi-word overload for requester spaces wider than 64 bits (the
+     * VC allocator's dense input-VC sets).  Same rotate-based scan —
+     * first requesting index at or after next_, else wrap to the
+     * overall lowest set bit — so winner selection and rotation-state
+     * evolution are identical to the single-word overload whenever the
+     * request set fits one word.
+     */
+    template <std::size_t N>
+    std::int32_t
+    arbitrateMask(const BitMask<N> &requests)
+    {
+        DVSNET_ASSERT(n_ <= static_cast<std::int32_t>(N),
+                      "mask capacity below arbiter width");
+        std::int32_t idx = requests.firstSetAtOrAfter(next_);
+        if (idx < 0)
+            idx = requests.firstSet();
+        if (idx < 0)
+            return -1;
         next_ = (idx + 1) % n_;
         return idx;
     }

@@ -7,6 +7,12 @@
  *
  *   Idle -> Routing -> VcAlloc -> Active -> (tail departs) -> Idle
  *
+ * The state machine itself (VcState plus the route target, granted
+ * downstream VC and allowed-VC mask) lives in the Router's
+ * structure-of-arrays slabs indexed by the dense vcIndex(port, vc) —
+ * see DESIGN.md "Wide-geometry fast path" — so VirtualChannel here is a
+ * pure flit FIFO.
+ *
  * Section 4.2: 128 flit buffers per input port, two virtual channels.
  */
 
@@ -31,7 +37,7 @@ enum class VcState : std::uint8_t
 };
 
 /**
- * One virtual channel: FIFO of flits plus allocation state.
+ * One virtual channel's flit FIFO.
  *
  * The FIFO is a fixed ring over a preallocated flit array — the buffer
  * depth is static, and the ring keeps the router's per-cycle scans on
@@ -90,40 +96,11 @@ class VirtualChannel
         return f;
     }
 
-    VcState state() const { return state_; }
-    void setState(VcState s) { state_ = s; }
-
-    /** Output port granted to the resident packet (valid when routed). */
-    PortId outPort() const { return outPort_; }
-    void setOutPort(PortId p) { outPort_ = p; }
-
-    /** Downstream VC granted (valid when Active). */
-    VcId outVc() const { return outVc_; }
-    void setOutVc(VcId v) { outVc_ = v; }
-
-    /** Allowed downstream VC bitmask from the routing function. */
-    std::uint32_t vcMask() const { return vcMask_; }
-    void setVcMask(std::uint32_t m) { vcMask_ = m; }
-
-    /** Reset allocation state after the tail departs. */
-    void
-    release()
-    {
-        state_ = VcState::Idle;
-        outPort_ = kInvalidId;
-        outVc_ = kInvalidId;
-        vcMask_ = 0;
-    }
-
   private:
     std::vector<Flit> slots_;  ///< ring storage, fixed at capacity_
     std::size_t capacity_;
     std::size_t head_ = 0;
     std::size_t size_ = 0;
-    VcState state_ = VcState::Idle;
-    PortId outPort_ = kInvalidId;
-    VcId outVc_ = kInvalidId;
-    std::uint32_t vcMask_ = 0;
 };
 
 /** All virtual channels of one input port. */

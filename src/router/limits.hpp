@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Validated geometry capacities shared by the router and its allocators.
+ *
+ * These bounds size the fixed-width activity masks (common/bitmask.hpp):
+ * exceeding one is a configuration error reported through
+ * RouterConfig::validate() / NetworkConfig::validate() as a ConfigError
+ * naming the bound — never a mid-simulation assert.  The capacities are
+ * deliberately generous (an 8-port concentrated router with 32 VCs per
+ * port still fits), while port-indexed masks stay single-word and
+ * downstream-VC masks stay one 32-bit word, which keeps the classic
+ * mesh geometries on exactly the pre-BitMask single-word codegen.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bitmask.hpp"
+
+namespace dvsnet::router
+{
+
+/** Ports per router (port-indexed masks are one 64-bit word). */
+inline constexpr std::int32_t kMaxPorts = 64;
+
+/** VCs per port (per-port VC masks, route vcMask: one 32-bit word). */
+inline constexpr std::int32_t kMaxVcsPerPort = 32;
+
+/** Dense input-VC index space (numPorts * numVcs) per router. */
+inline constexpr std::int32_t kMaxInputVcs = 256;
+
+/** Set of ports within one router. */
+using PortSet = BitMask<static_cast<std::size_t>(kMaxPorts)>;
+
+/** Set of dense input-VC indexes (vcIndex(port, vc)) within one router. */
+using InputVcSet = BitMask<static_cast<std::size_t>(kMaxInputVcs)>;
+
+} // namespace dvsnet::router

@@ -8,29 +8,83 @@
 namespace dvsnet::router
 {
 
+std::vector<std::string>
+RouterConfig::validate() const
+{
+    std::vector<std::string> problems;
+    auto complain = [&problems](auto &&...parts) {
+        problems.push_back(detail::concat(parts...));
+    };
+
+    if (numPorts < 2)
+        complain("numPorts must be >= 2 (got ", numPorts, ")");
+    else if (numPorts > kMaxPorts) {
+        complain("numPorts ", numPorts, " exceeds the kMaxPorts = ",
+                 kMaxPorts, " port-mask capacity");
+    }
+    if (numVcs < 1)
+        complain("numVcs must be >= 1 (got ", numVcs, ")");
+    else if (numVcs > kMaxVcsPerPort) {
+        complain("numVcs ", numVcs, " exceeds the kMaxVcsPerPort = ",
+                 kMaxVcsPerPort, " per-port VC-mask capacity");
+    }
+    if (numPorts >= 2 && numVcs >= 1 &&
+        numPorts * numVcs > kMaxInputVcs) {
+        complain("numPorts * numVcs = ", numPorts * numVcs,
+                 " exceeds the kMaxInputVcs = ", kMaxInputVcs,
+                 " dense input-VC capacity");
+    }
+    if (numVcs >= 1 && bufferPerPort < static_cast<std::size_t>(numVcs)) {
+        complain("bufferPerPort (", bufferPerPort,
+                 ") leaves no buffer slot per VC (numVcs = ", numVcs,
+                 ")");
+    }
+    if (pipelineLatency < 3) {
+        complain("pipelineLatency must cover the 3 allocation stages "
+                 "(got ", pipelineLatency, ")");
+    }
+    return problems;
+}
+
+namespace
+{
+
+/** Validate `config`, throwing a ConfigError listing every problem. */
+const RouterConfig &
+validatedRouter(const RouterConfig &config)
+{
+    const auto problems = config.validate();
+    if (!problems.empty())
+        throw ConfigError(joinProblems("invalid router config", problems));
+    return config;
+}
+
+} // namespace
+
 Router::Router(NodeId id, const RouterConfig &config,
                const RoutingAlgorithm &routing)
     : id_(id),
-      config_(config),
+      // config_ is declared before the allocators, so validation throws
+      // here before their (assert-guarded) construction sees a geometry
+      // beyond the mask capacities.
+      config_(validatedRouter(config)),
       routing_(routing),
       vcAlloc_(config.numPorts, config.numVcs,
                config.numPorts * config.numVcs),
       swAlloc_(config.numPorts, config.numVcs)
 {
-    DVSNET_ASSERT(config.numPorts >= 2, "router needs >= 2 ports");
-    DVSNET_ASSERT(config.numVcs >= 1, "router needs >= 1 VC");
-    DVSNET_ASSERT(config.pipelineLatency >= 3,
-                  "pipeline must cover RC, VA, SA");
-    DVSNET_ASSERT(config.numPorts * config.numVcs <= 64,
-                  "activity masks hold at most 64 input VCs");
-
     extraDelayTicks_ = cyclesToTicks(config.pipelineLatency - 2);
     portVcMask_ = (std::uint64_t{1} << config.numVcs) - 1;
+    const auto denseVcs = static_cast<std::size_t>(config.numPorts) *
+                          static_cast<std::size_t>(config.numVcs);
     saReqMasks_.assign(static_cast<std::size_t>(config.numPorts), 0);
     vcFreeMasks_.assign(static_cast<std::size_t>(config.numPorts), 0);
-    saOutPorts_.assign(static_cast<std::size_t>(config.numPorts) *
-                           static_cast<std::size_t>(config.numVcs),
-                       kInvalidId);
+    saOutPorts_.assign(denseVcs, kInvalidId);
+    vcState_.assign(denseVcs, VcState::Idle);
+    vcOutPort_.assign(denseVcs, kInvalidId);
+    vcOutVc_.assign(denseVcs, kInvalidId);
+    vcRouteMask_.assign(denseVcs, 0);
+    credits_.assign(denseVcs, 0);
 
     inputs_.reserve(static_cast<std::size_t>(config.numPorts));
     outputs_.resize(static_cast<std::size_t>(config.numPorts));
@@ -42,13 +96,13 @@ Router::Router(NodeId id, const RouterConfig &config,
     for (PortId p = 0; p < config.numPorts; ++p) {
         inputs_[static_cast<std::size_t>(p)].flitInbox.setWakeHook(
             [this, p] {
-                pendingFlitPorts_ |= std::uint64_t{1} << p;
+                pendingFlitPorts_.set(p);
                 if (wake_)
                     wake_();
             });
         outputs_[static_cast<std::size_t>(p)].creditInbox.setWakeHook(
             [this, p] {
-                pendingCreditPorts_ |= std::uint64_t{1} << p;
+                pendingCreditPorts_.set(p);
                 if (wake_)
                     wake_();
             });
@@ -62,9 +116,10 @@ Router::connectOutput(PortId port, FlitChannel *link,
     DVSNET_ASSERT(port >= 0 && port < config_.numPorts, "port out of range");
     auto &out = outputs_[static_cast<std::size_t>(port)];
     out.link = link;
-    out.credits.assign(static_cast<std::size_t>(config_.numVcs),
-                       downstreamVcCapacity);
-    out.vcBusy.assign(static_cast<std::size_t>(config_.numVcs), false);
+    for (VcId v = 0; v < config_.numVcs; ++v) {
+        credits_[static_cast<std::size_t>(vcIndex(port, v))] =
+            static_cast<std::uint32_t>(downstreamVcCapacity);
+    }
     vcFreeMasks_[static_cast<std::size_t>(port)] =
         static_cast<std::uint32_t>(portVcMask_);
     out.downstreamCapacity =
@@ -97,7 +152,7 @@ Router::step(Tick now)
 {
     drainCredits(now);
     drainFlitsAndBid(now);
-    if (saReqPorts_ != 0)
+    if (saReqPorts_.any())
         // Reverse stage order: each allocation stage sees state produced
         // by the earlier pipeline stage one cycle ago.
         applySwitchGrants(now);
@@ -111,14 +166,12 @@ Router::step(Tick now)
 void
 Router::drainCredits(Tick now)
 {
-    std::uint64_t ports = pendingCreditPorts_;
-    if (ports == 0)
+    if (pendingCreditPorts_.none())
         return;
     const double nowCycles =
         static_cast<double>(now) / static_cast<double>(kRouterClockPeriod);
-    while (ports != 0) {
-        const PortId p = std::countr_zero(ports);
-        ports &= ports - 1;
+    const PortSet ports = pendingCreditPorts_;
+    ports.forEachSetBit([&](std::int32_t p) {
         auto &out = outputs_[static_cast<std::size_t>(p)];
         // Batched drain: pop every due credit, then settle the
         // occupancy average once.  Repeated updates at one timestamp
@@ -129,7 +182,7 @@ Router::drainCredits(Tick now)
             const VcId vc = out.creditInbox.pop(now);
             DVSNET_ASSERT(vc >= 0 && vc < config_.numVcs,
                           "credit VC out of range");
-            ++out.credits[static_cast<std::size_t>(vc)];
+            ++credits_[static_cast<std::size_t>(vcIndex(p, vc))];
             ++popped;
         }
         if (popped != 0) {
@@ -140,8 +193,8 @@ Router::drainCredits(Tick now)
         }
         // Keep the bit while future-dated credits remain in flight.
         if (out.creditInbox.empty())
-            pendingCreditPorts_ &= ~(std::uint64_t{1} << p);
-    }
+            pendingCreditPorts_.reset(p);
+    });
 }
 
 void
@@ -153,9 +206,9 @@ Router::drainFlitsAndBid(Tick now)
     // channel acceptance — none of which a later port's drain mutates —
     // so the bids equal what a drain-everything-then-scan pass would
     // produce, in the same ascending (port, vc) order.
-    saReqPorts_ = 0;
-    std::uint64_t ports = pendingFlitPorts_ | activeVcPorts_;
-    if (ports == 0)
+    saReqPorts_.clear();
+    const PortSet ports = pendingFlitPorts_ | activeVcPorts_;
+    if (ports.none())
         return;
     const Tick earliest = now + extraDelayTicks_;
     // canAccept is const and queried with the same `earliest` for every
@@ -163,30 +216,32 @@ Router::drainFlitsAndBid(Tick now)
     // so one probe per output port answers for all VCs targeting it.
     std::uint64_t accProbed = 0;
     std::uint64_t accYes = 0;
-    while (ports != 0) {
-        const PortId p = std::countr_zero(ports);
-        ports &= ports - 1;
+    ports.forEachSetBit([&](std::int32_t p) {
         auto &in = inputs_[static_cast<std::size_t>(p)];
-        if (pendingFlitPorts_ & (std::uint64_t{1} << p)) {
+        if (pendingFlitPorts_.test(p)) {
             while (in.flitInbox.ready(now)) {
                 Flit flit = in.flitInbox.pop(now);
                 DVSNET_ASSERT(flit.vc >= 0 && flit.vc < config_.numVcs,
                               "flit VC out of range");
                 flit.arrived = now;
+                const std::int32_t idx = vcIndex(p, flit.vc);
                 auto &vc = in.buffer.vc(flit.vc);
                 if (flit.isHead()) {
                     // A head either finds the VC idle or queues behind a
                     // previous packet still draining through the same VC.
-                    if (vc.state() == VcState::Idle) {
+                    if (vcState_[static_cast<std::size_t>(idx)] ==
+                        VcState::Idle) {
                         DVSNET_ASSERT(vc.empty(), "idle VC with residue");
-                        vc.setState(VcState::Routing);
-                        routingVcs_ |= std::uint64_t{1}
-                                       << vcIndex(p, flit.vc);
+                        vcState_[static_cast<std::size_t>(idx)] =
+                            VcState::Routing;
+                        routingVcs_.set(idx);
                     }
                 } else {
-                    DVSNET_ASSERT(vc.state() != VcState::Idle ||
-                                      !vc.empty(),
-                                  "body flit into idle empty VC");
+                    DVSNET_ASSERT(
+                        vcState_[static_cast<std::size_t>(idx)] !=
+                                VcState::Idle ||
+                            !vc.empty(),
+                        "body flit into idle empty VC");
                 }
                 vc.enqueue(flit);
                 ++bufferedFlits_;
@@ -194,23 +249,25 @@ Router::drainFlitsAndBid(Tick now)
             }
             // Keep the bit while future-dated flits remain in flight.
             if (in.flitInbox.empty())
-                pendingFlitPorts_ &= ~(std::uint64_t{1} << p);
+                pendingFlitPorts_.reset(p);
         }
 
         // SA bids from this port's Active VCs, ascending VC order.
         std::uint32_t act = static_cast<std::uint32_t>(
-            (activeVcs_ >> (p * config_.numVcs)) & portVcMask_);
+            activeVcs_.extract(p * config_.numVcs, config_.numVcs));
         std::uint32_t bids = 0;
         while (act != 0) {
             const VcId v = std::countr_zero(act);
             act &= act - 1;
-            auto &vc = in.buffer.vc(v);
-            if (vc.empty())
+            const auto idx =
+                static_cast<std::size_t>(vcIndex(p, v));
+            if (in.buffer.vc(v).empty())
                 continue;  // Active but waiting for body flits
-            const PortId outPort = vc.outPort();
+            const PortId outPort = vcOutPort_[idx];
             const auto &out = outputs_[static_cast<std::size_t>(outPort)];
             DVSNET_ASSERT(out.link != nullptr, "unconnected output port");
-            if (out.credits[static_cast<std::size_t>(vc.outVc())] == 0)
+            if (credits_[static_cast<std::size_t>(
+                    vcIndex(outPort, vcOutVc_[idx]))] == 0)
                 continue;
             const std::uint64_t outBit = std::uint64_t{1} << outPort;
             if ((accProbed & outBit) == 0) {
@@ -221,14 +278,13 @@ Router::drainFlitsAndBid(Tick now)
             if ((accYes & outBit) == 0)
                 continue;
             bids |= 1u << v;
-            saOutPorts_[static_cast<std::size_t>(vcIndex(p, v))] =
-                vc.outPort();
+            saOutPorts_[idx] = outPort;
         }
         if (bids != 0) {
             saReqMasks_[static_cast<std::size_t>(p)] = bids;
-            saReqPorts_ |= std::uint64_t{1} << p;
+            saReqPorts_.set(p);
         }
-    }
+    });
 }
 
 void
@@ -243,10 +299,13 @@ Router::applySwitchGrants(Tick now)
         auto &in = inputs_[static_cast<std::size_t>(g.inPort)];
         auto &vc = in.buffer.vc(g.inVc);
         auto &out = outputs_[static_cast<std::size_t>(g.outPort)];
+        const std::int32_t idx = vcIndex(g.inPort, g.inVc);
 
         Flit flit = vc.dequeue();
         --bufferedFlits_;
-        const VcId outVc = vc.outVc();
+        const VcId outVc = vcOutVc_[static_cast<std::size_t>(idx)];
+        const auto outIdx =
+            static_cast<std::size_t>(vcIndex(g.outPort, outVc));
 
         // Input-buffer age (Eq. 4): time the flit spent buffered here.
         in.ageSumCycles += static_cast<double>(now - flit.arrived) /
@@ -254,9 +313,8 @@ Router::applySwitchGrants(Tick now)
         ++in.departed;
 
         // Consume one downstream credit; track downstream occupancy (BU).
-        DVSNET_ASSERT(out.credits[static_cast<std::size_t>(outVc)] > 0,
-                      "switch grant without credit");
-        --out.credits[static_cast<std::size_t>(outVc)];
+        DVSNET_ASSERT(credits_[outIdx] > 0, "switch grant without credit");
+        --credits_[outIdx];
         out.occupancyNow += 1.0;
         out.occupancy.update(nowCycles, out.occupancyNow);
 
@@ -291,21 +349,20 @@ Router::applySwitchGrants(Tick now)
         ++stats_.switchGrants;
 
         if (flit.isTail()) {
-            out.vcBusy[static_cast<std::size_t>(outVc)] = false;
             vcFreeMasks_[static_cast<std::size_t>(g.outPort)] |=
                 1u << outVc;
-            vc.release();
-            activeVcs_ &= ~(std::uint64_t{1} << vcIndex(g.inPort, g.inVc));
-            if (((activeVcs_ >> (g.inPort * config_.numVcs)) &
-                 portVcMask_) == 0)
-                activeVcPorts_ &= ~(std::uint64_t{1} << g.inPort);
+            releaseVc(idx);
+            activeVcs_.reset(idx);
+            if (activeVcs_.extract(g.inPort * config_.numVcs,
+                                   config_.numVcs) == 0)
+                activeVcPorts_.reset(g.inPort);
             // Another packet may already be queued behind the tail.
             if (!vc.empty()) {
                 DVSNET_ASSERT(vc.front().isHead(),
                               "non-head behind a departed tail");
-                vc.setState(VcState::Routing);
-                routingVcs_ |= std::uint64_t{1}
-                               << vcIndex(g.inPort, g.inVc);
+                vcState_[static_cast<std::size_t>(idx)] =
+                    VcState::Routing;
+                routingVcs_.set(idx);
             }
         }
     }
@@ -314,35 +371,29 @@ Router::applySwitchGrants(Tick now)
 void
 Router::vcAllocate()
 {
-    if (vcAllocVcs_ == 0)
+    if (vcAllocVcs_.none())
         return;
     vcRequests_.clear();
-    std::uint64_t waiting = vcAllocVcs_;
-    while (waiting != 0) {
-        const std::int32_t idx = std::countr_zero(waiting);
-        waiting &= waiting - 1;
-        const PortId p = idx / config_.numVcs;
-        const VcId v = idx % config_.numVcs;
-        auto &vc = inputs_[static_cast<std::size_t>(p)].buffer.vc(v);
-        vcRequests_.push_back({idx, vc.outPort(), vc.vcMask()});
-    }
+    vcAllocVcs_.forEachSetBit([&](std::int32_t idx) {
+        vcRequests_.push_back(
+            {idx, vcOutPort_[static_cast<std::size_t>(idx)],
+             vcRouteMask_[static_cast<std::size_t>(idx)]});
+    });
 
     // vcFreeMasks_ (bit v = downstream VC v unallocated — the
     // allocator's hot-path interface) is maintained incrementally at
-    // the two vcBusy mutation points: cleared on a VC grant below, set
-    // on tail release in applySwitchGrants.  Unconnected ports stay 0.
+    // the two allocation mutation points: cleared on a VC grant below,
+    // set on tail release in applySwitchGrants.  Unconnected ports
+    // stay 0.
     for (const auto &g : vcAlloc_.allocate(vcRequests_, vcFreeMasks_)) {
+        const auto idx = static_cast<std::size_t>(g.requester);
         const PortId p = g.requester / config_.numVcs;
-        const VcId v = g.requester % config_.numVcs;
-        auto &vc = inputs_[static_cast<std::size_t>(p)].buffer.vc(v);
-        DVSNET_ASSERT(vc.state() == VcState::VcAlloc, "stale VC grant");
-        vc.setOutVc(g.outVc);
-        vc.setState(VcState::Active);
-        vcAllocVcs_ &= ~(std::uint64_t{1} << g.requester);
-        activeVcs_ |= std::uint64_t{1} << g.requester;
-        activeVcPorts_ |= std::uint64_t{1} << p;
-        outputs_[static_cast<std::size_t>(g.outPort)]
-            .vcBusy[static_cast<std::size_t>(g.outVc)] = true;
+        DVSNET_ASSERT(vcState_[idx] == VcState::VcAlloc, "stale VC grant");
+        vcOutVc_[idx] = g.outVc;
+        vcState_[idx] = VcState::Active;
+        vcAllocVcs_.reset(g.requester);
+        activeVcs_.set(g.requester);
+        activeVcPorts_.set(p);
         vcFreeMasks_[static_cast<std::size_t>(g.outPort)] &=
             ~(1u << g.outVc);
         ++stats_.vcGrants;
@@ -352,65 +403,63 @@ Router::vcAllocate()
 void
 Router::routeCompute()
 {
-    std::uint64_t routing = routingVcs_;
+    if (routingVcs_.none())
+        return;
+    const InputVcSet routing = routingVcs_;
     // Every Routing VC advances to VcAlloc this cycle.
-    routingVcs_ = 0;
+    routingVcs_.clear();
     vcAllocVcs_ |= routing;
-    while (routing != 0) {
-        const std::int32_t idx = std::countr_zero(routing);
-        routing &= routing - 1;
+    routing.forEachSetBit([&](std::int32_t idx) {
         const PortId p = idx / config_.numVcs;
         const VcId v = idx % config_.numVcs;
-        {
-            auto &in = inputs_[static_cast<std::size_t>(p)];
-            auto &vc = in.buffer.vc(v);
-            DVSNET_ASSERT(!vc.empty() && vc.front().isHead(),
-                          "routing state without a head flit");
-            const Flit &head = vc.front();
+        auto &in = inputs_[static_cast<std::size_t>(p)];
+        auto &vc = in.buffer.vc(v);
+        DVSNET_ASSERT(!vc.empty() && vc.front().isHead(),
+                      "routing state without a head flit");
+        const Flit &head = vc.front();
 
-            routing_.route(id_, p, v, head.dst, candidates_);
-            DVSNET_ASSERT(!candidates_.empty(), "no route candidates");
+        routing_.route(id_, p, v, head.dst, candidates_);
+        DVSNET_ASSERT(!candidates_.empty(), "no route candidates");
 
-            // Adaptive output selection: among candidate ports, prefer
-            // the one with the most free downstream credits (summed over
-            // the VCs its mask allows); merge masks of candidates that
-            // share the winning port.
-            PortId bestPort = kInvalidId;
-            std::size_t bestScore = 0;
-            for (const auto &cand : candidates_) {
-                const auto &out =
-                    outputs_[static_cast<std::size_t>(cand.outPort)];
-                std::size_t score = 0;
-                for (VcId ovc = 0; ovc < config_.numVcs; ++ovc) {
-                    if (cand.vcMask & (1u << ovc))
-                        score += out.credits[static_cast<std::size_t>(ovc)];
-                }
-                if (bestPort == kInvalidId || score > bestScore) {
-                    bestPort = cand.outPort;
-                    bestScore = score;
+        // Adaptive output selection: among candidate ports, prefer
+        // the one with the most free downstream credits (summed over
+        // the VCs its mask allows); merge masks of candidates that
+        // share the winning port.
+        PortId bestPort = kInvalidId;
+        std::size_t bestScore = 0;
+        for (const auto &cand : candidates_) {
+            std::size_t score = 0;
+            for (VcId ovc = 0; ovc < config_.numVcs; ++ovc) {
+                if (cand.vcMask & (1u << ovc)) {
+                    score += credits_[static_cast<std::size_t>(
+                        vcIndex(cand.outPort, ovc))];
                 }
             }
-            std::uint32_t mask = 0;
-            for (const auto &cand : candidates_) {
-                if (cand.outPort == bestPort)
-                    mask |= cand.vcMask;
+            if (bestPort == kInvalidId || score > bestScore) {
+                bestPort = cand.outPort;
+                bestScore = score;
             }
-
-            vc.setOutPort(bestPort);
-            vc.setVcMask(mask);
-            vc.setState(VcState::VcAlloc);
-            ++stats_.headsRouted;
         }
-    }
+        std::uint32_t mask = 0;
+        for (const auto &cand : candidates_) {
+            if (cand.outPort == bestPort)
+                mask |= cand.vcMask;
+        }
+
+        vcOutPort_[static_cast<std::size_t>(idx)] = bestPort;
+        vcRouteMask_[static_cast<std::size_t>(idx)] = mask;
+        vcState_[static_cast<std::size_t>(idx)] = VcState::VcAlloc;
+        ++stats_.headsRouted;
+    });
 }
 
 bool
 Router::isIdle() const
 {
     // bufferedFlits_ aggregates all input-VC occupancies; the pending
-    // masks mirror inbox emptiness, so idleness is three word compares.
-    return bufferedFlits_ == 0 && pendingFlitPorts_ == 0 &&
-           pendingCreditPorts_ == 0;
+    // masks mirror inbox emptiness, so idleness is a few word compares.
+    return bufferedFlits_ == 0 && pendingFlitPorts_.none() &&
+           pendingCreditPorts_.none();
 }
 
 std::size_t
@@ -471,8 +520,10 @@ Router::takeBufferAgeWindow(PortId port)
 std::size_t
 Router::creditCount(PortId port, VcId vc) const
 {
-    const auto &out = outputs_.at(static_cast<std::size_t>(port));
-    return out.credits.at(static_cast<std::size_t>(vc));
+    DVSNET_ASSERT(port >= 0 && port < config_.numPorts &&
+                      vc >= 0 && vc < config_.numVcs,
+                  "credit query out of range");
+    return credits_[static_cast<std::size_t>(vcIndex(port, vc))];
 }
 
 std::uint64_t

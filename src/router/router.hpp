@@ -27,12 +27,14 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/inline_fn.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 #include "router/allocator.hpp"
+#include "router/limits.hpp"
 #include "router/buffer.hpp"
 #include "router/deferred_ops.hpp"
 #include "router/flit.hpp"
@@ -50,6 +52,16 @@ struct RouterConfig
     std::int32_t numVcs = 2;        ///< virtual channels per port
     std::size_t bufferPerPort = 128; ///< flit slots per input port
     Cycle pipelineLatency = 13;     ///< zero-load in-router cycles (>= 3)
+
+    /**
+     * Check the geometry against the validated capacities in
+     * router/limits.hpp (ports, VCs per port, dense input-VC space)
+     * and basic sanity (pipeline depth, buffer split).  Returns one
+     * human-readable problem per violation, each naming the bound;
+     * empty means valid.  Router's constructor throws ConfigError on
+     * violations, and NetworkConfig::validate() folds these in.
+     */
+    std::vector<std::string> validate() const;
 };
 
 /** Counters exported for diagnostics and tests. */
@@ -71,6 +83,7 @@ class Router
      * @param config geometry and pipeline depth
      * @param routing routing algorithm (owned by the caller, outlives us)
      */
+    /** @throws ConfigError when `config.validate()` reports problems. */
     Router(NodeId id, const RouterConfig &config,
            const RoutingAlgorithm &routing);
 
@@ -166,8 +179,6 @@ class Router
     struct OutputUnit
     {
         FlitChannel *link = nullptr;
-        std::vector<std::size_t> credits;    ///< per downstream VC
-        std::vector<bool> vcBusy;            ///< downstream VC held by a packet
         std::size_t downstreamCapacity = 0;  ///< total flit slots downstream
         TimeWeightedAverage occupancy;       ///< downstream occupancy (flits)
         double occupancyNow = 0.0;
@@ -199,6 +210,16 @@ class Router
         return port * config_.numVcs + vc;
     }
 
+    /** Reset dense VC `idx`'s pipeline state after its tail departs. */
+    void
+    releaseVc(std::int32_t idx)
+    {
+        vcState_[static_cast<std::size_t>(idx)] = VcState::Idle;
+        vcOutPort_[static_cast<std::size_t>(idx)] = kInvalidId;
+        vcOutVc_[static_cast<std::size_t>(idx)] = kInvalidId;
+        vcRouteMask_[static_cast<std::size_t>(idx)] = 0;
+    }
+
     NodeId id_;
     RouterConfig config_;
     const RoutingAlgorithm &routing_;
@@ -210,19 +231,33 @@ class Router
     std::size_t bufferedFlits_ = 0;  ///< total across all input VCs
     RouterStats stats_;
 
+    // Per-VC pipeline state, structure-of-arrays indexed by the dense
+    // vcIndex(port, vc): the RC/VA/SA stage scans touch exactly these
+    // slabs plus the FIFO fronts, so a scan walks contiguous memory
+    // instead of chasing per-unit objects.  `credits_` is the
+    // downstream credit count per *output* (port, vc), same dense
+    // indexing.
+    std::vector<VcState> vcState_;         ///< pipeline stage per input VC
+    std::vector<PortId> vcOutPort_;        ///< routed output port
+    std::vector<VcId> vcOutVc_;            ///< granted downstream VC
+    std::vector<std::uint32_t> vcRouteMask_; ///< allowed downstream VCs
+    std::vector<std::uint32_t> credits_;   ///< per output (port, vc)
+
     // Activity masks — the router's own gating layer.  Port bits are
     // set by the inbox wake hooks and cleared when a drain empties the
     // inbox; VC bits (dense index vcIndex(p, v), so ascending bit order
     // equals the ascending (port, vc) scan order of the allocation
-    // stages) mirror each VC's pipeline state exactly.  They turn
-    // isIdle() into three word compares and the per-cycle stage scans
-    // into popcount-bounded loops.
-    std::uint64_t pendingFlitPorts_ = 0;    ///< flitInbox(p) non-empty
-    std::uint64_t pendingCreditPorts_ = 0;  ///< creditInbox(p) non-empty
-    std::uint64_t routingVcs_ = 0;   ///< VCs in VcState::Routing
-    std::uint64_t vcAllocVcs_ = 0;   ///< VCs in VcState::VcAlloc
-    std::uint64_t activeVcs_ = 0;    ///< VCs in VcState::Active
-    std::uint64_t activeVcPorts_ = 0;  ///< ports with any Active VC
+    // stages) mirror vcState_ exactly.  They turn isIdle() into a few
+    // word compares and the per-cycle stage scans into popcount-bounded
+    // loops.  PortSet is one word; InputVcSet spans kMaxInputVcs bits
+    // (common/bitmask.hpp) so geometries beyond 64 input VCs stay on
+    // the same scan code.
+    PortSet pendingFlitPorts_;    ///< flitInbox(p) non-empty
+    PortSet pendingCreditPorts_;  ///< creditInbox(p) non-empty
+    InputVcSet routingVcs_;   ///< VCs in VcState::Routing
+    InputVcSet vcAllocVcs_;   ///< VCs in VcState::VcAlloc
+    InputVcSet activeVcs_;    ///< VCs in VcState::Active
+    PortSet activeVcPorts_;   ///< ports with any Active VC
     std::uint64_t portVcMask_ = 0;     ///< low numVcs bits set
     InlineFn wake_;  ///< network-level wake, chained from inbox hooks
     DeferredOpSink *deferredOps_ = nullptr;  ///< non-null: defer sends
@@ -234,15 +269,17 @@ class Router
     // by design and never read.
     std::vector<std::uint32_t> saReqMasks_;  ///< per input port
     std::vector<PortId> saOutPorts_;         ///< per dense input VC
-    std::uint64_t saReqPorts_ = 0;           ///< ports with any SA bid
+    PortSet saReqPorts_;                     ///< ports with any SA bid
 
     // Scratch vectors reused across cycles to avoid allocation churn.
     std::vector<VcRequest> vcRequests_;
     std::vector<RouteCandidate> candidates_;
 
-    // Downstream free-VC bitmask per output port, maintained
-    // incrementally as vcBusy toggles (VC grant / tail release) so
-    // vcAllocate feeds the allocator without a rebuild scan.
+    // Downstream free-VC bitmask per output port (bit v set = (port, v)
+    // unallocated), maintained incrementally at the two allocation
+    // mutation points (VC grant / tail release) so vcAllocate feeds the
+    // allocator without a rebuild scan.  This is the single source of
+    // truth for downstream VC occupancy; unconnected ports stay 0.
     std::vector<std::uint32_t> vcFreeMasks_;
 };
 

@@ -1,0 +1,289 @@
+/**
+ * @file
+ * BitMask<N> tests: unit coverage of every operation at word
+ * boundaries, plus a randomized property check against a reference
+ * model (std::vector<bool> + naive scans) across widths straddling the
+ * 64-bit boundary — the single-word/multi-word split must be invisible.
+ */
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "common/bitmask.hpp"
+
+using dvsnet::BitMask;
+
+TEST(BitMask, StartsEmpty)
+{
+    BitMask<65> m;
+    EXPECT_TRUE(m.none());
+    EXPECT_FALSE(m.any());
+    EXPECT_EQ(m.popcount(), 0);
+    EXPECT_EQ(m.firstSet(), -1);
+    EXPECT_EQ(m.kWords, 2u);
+    EXPECT_EQ(BitMask<64>::kWords, 1u);
+    EXPECT_EQ(BitMask<256>::kWords, 4u);
+}
+
+TEST(BitMask, SetResetTestAcrossWordBoundary)
+{
+    BitMask<130> m;
+    for (const std::int32_t i : {0, 63, 64, 127, 128, 129}) {
+        m.set(i);
+        EXPECT_TRUE(m.test(i)) << i;
+    }
+    EXPECT_EQ(m.popcount(), 6);
+    m.reset(64);
+    EXPECT_FALSE(m.test(64));
+    EXPECT_TRUE(m.test(63));
+    EXPECT_TRUE(m.test(127));
+    EXPECT_EQ(m.popcount(), 5);
+    m.clear();
+    EXPECT_TRUE(m.none());
+}
+
+TEST(BitMask, FirstSetScansWords)
+{
+    BitMask<192> m;
+    EXPECT_EQ(m.firstSet(), -1);
+    m.set(150);
+    EXPECT_EQ(m.firstSet(), 150);
+    m.set(64);
+    EXPECT_EQ(m.firstSet(), 64);
+    m.set(3);
+    EXPECT_EQ(m.firstSet(), 3);
+}
+
+TEST(BitMask, FirstSetAtOrAfterHandlesBoundaries)
+{
+    BitMask<192> m;
+    m.set(10);
+    m.set(64);
+    m.set(130);
+    EXPECT_EQ(m.firstSetAtOrAfter(0), 10);
+    EXPECT_EQ(m.firstSetAtOrAfter(10), 10);
+    EXPECT_EQ(m.firstSetAtOrAfter(11), 64);
+    EXPECT_EQ(m.firstSetAtOrAfter(64), 64);
+    EXPECT_EQ(m.firstSetAtOrAfter(65), 130);
+    EXPECT_EQ(m.firstSetAtOrAfter(130), 130);
+    EXPECT_EQ(m.firstSetAtOrAfter(131), -1);
+    EXPECT_EQ(m.firstSetAtOrAfter(191), -1);
+    EXPECT_EQ(m.firstSetAtOrAfter(192), -1);
+}
+
+TEST(BitMask, ExtractWithinOneWord)
+{
+    BitMask<256> m;
+    m.set(8);
+    m.set(10);
+    EXPECT_EQ(m.extract(8, 4), 0b101u);
+    EXPECT_EQ(m.extract(0, 8), 0u);
+}
+
+TEST(BitMask, ExtractStraddlesWords)
+{
+    BitMask<256> m;
+    // A 13-bit window at 60 spans the word boundary: bits 60..72.
+    m.set(60);
+    m.set(63);
+    m.set(64);
+    m.set(72);
+    const std::uint64_t win = m.extract(60, 13);
+    EXPECT_EQ(win, (1u << 0) | (1u << 3) | (1u << 4) | (1u << 12));
+    // Full-width extract at a misaligned position.
+    BitMask<256> n;
+    n.set(100);
+    n.set(163);
+    EXPECT_EQ(n.extract(100, 64),
+              (std::uint64_t{1} << 0) | (std::uint64_t{1} << 63));
+}
+
+TEST(BitMask, ExtractPastCapacityReadsZero)
+{
+    BitMask<80> m;  // 2 words, top 48 bits of word 1 beyond capacity
+    m.set(79);
+    EXPECT_EQ(m.extract(72, 8), std::uint64_t{1} << 7);
+    EXPECT_EQ(m.extract(64, 16), std::uint64_t{1} << 15);
+}
+
+TEST(BitMask, ForEachSetBitAscending)
+{
+    BitMask<200> m;
+    const std::vector<std::int32_t> bits{0, 1, 63, 64, 65, 128, 199};
+    for (const std::int32_t b : bits)
+        m.set(b);
+    std::vector<std::int32_t> seen;
+    m.forEachSetBit([&seen](std::int32_t i) { seen.push_back(i); });
+    EXPECT_EQ(seen, bits);
+}
+
+TEST(BitMask, BitwiseOpsAndEquality)
+{
+    BitMask<128> a, b;
+    a.set(5);
+    a.set(70);
+    b.set(70);
+    b.set(100);
+
+    const BitMask<128> u = a | b;
+    EXPECT_TRUE(u.test(5));
+    EXPECT_TRUE(u.test(70));
+    EXPECT_TRUE(u.test(100));
+    EXPECT_EQ(u.popcount(), 3);
+
+    const BitMask<128> i = a & b;
+    EXPECT_EQ(i.firstSet(), 70);
+    EXPECT_EQ(i.popcount(), 1);
+
+    BitMask<128> c = a;
+    EXPECT_EQ(c, a);
+    EXPECT_NE(c, b);
+    c.andNot(b);
+    EXPECT_TRUE(c.test(5));
+    EXPECT_FALSE(c.test(70));
+}
+
+namespace
+{
+
+/** Reference model: the same operations on a vector<bool>. */
+class RefMask
+{
+  public:
+    explicit RefMask(std::size_t n) : bits_(n, false) {}
+
+    void set(std::int32_t i) { bits_[static_cast<std::size_t>(i)] = true; }
+    void reset(std::int32_t i)
+    {
+        bits_[static_cast<std::size_t>(i)] = false;
+    }
+    bool test(std::int32_t i) const
+    {
+        return bits_[static_cast<std::size_t>(i)];
+    }
+
+    std::int32_t
+    popcount() const
+    {
+        std::int32_t n = 0;
+        for (const bool b : bits_)
+            n += b ? 1 : 0;
+        return n;
+    }
+
+    std::int32_t
+    firstSetAtOrAfter(std::int32_t from) const
+    {
+        for (std::size_t i = from < 0 ? 0 : static_cast<std::size_t>(from);
+             i < bits_.size(); ++i) {
+            if (bits_[i])
+                return static_cast<std::int32_t>(i);
+        }
+        return -1;
+    }
+
+    std::int32_t firstSet() const { return firstSetAtOrAfter(0); }
+
+    std::uint64_t
+    extract(std::int32_t pos, std::int32_t width) const
+    {
+        std::uint64_t value = 0;
+        for (std::int32_t i = 0; i < width; ++i) {
+            const std::size_t bit = static_cast<std::size_t>(pos + i);
+            if (bit < bits_.size() && bits_[bit])
+                value |= std::uint64_t{1} << i;
+        }
+        return value;
+    }
+
+  private:
+    std::vector<bool> bits_;
+};
+
+/** Drive BitMask<N> and RefMask with the same random op stream. */
+template <std::size_t N>
+void
+randomizedAgainstReference(std::uint32_t seed)
+{
+    std::mt19937 rng(seed);
+    BitMask<N> mask;
+    RefMask ref(N);
+    std::uniform_int_distribution<std::int32_t> bitDist(
+        0, static_cast<std::int32_t>(N) - 1);
+    std::uniform_int_distribution<std::int32_t> opDist(0, 5);
+
+    for (std::int32_t step = 0; step < 2000; ++step) {
+        const std::int32_t bit = bitDist(rng);
+        switch (opDist(rng)) {
+          case 0:
+          case 1:  // bias toward mutation so masks stay busy
+            mask.set(bit);
+            ref.set(bit);
+            break;
+          case 2:
+            mask.reset(bit);
+            ref.reset(bit);
+            break;
+          case 3:
+            ASSERT_EQ(mask.firstSetAtOrAfter(bit),
+                      ref.firstSetAtOrAfter(bit))
+                << "from=" << bit << " step=" << step;
+            break;
+          case 4: {
+            const std::int32_t width = 1 + bit % 64;
+            const std::int32_t pos =
+                bitDist(rng) % std::max<std::int32_t>(
+                                   1, static_cast<std::int32_t>(N) -
+                                          width);
+            ASSERT_EQ(mask.extract(pos, width), ref.extract(pos, width))
+                << "pos=" << pos << " width=" << width
+                << " step=" << step;
+            break;
+          }
+          default: {
+            std::vector<std::int32_t> seen;
+            mask.forEachSetBit(
+                [&seen](std::int32_t i) { seen.push_back(i); });
+            std::int32_t expect = ref.firstSet();
+            for (const std::int32_t i : seen) {
+                ASSERT_EQ(i, expect) << "step=" << step;
+                expect = ref.firstSetAtOrAfter(i + 1);
+            }
+            ASSERT_EQ(expect, -1) << "step=" << step;
+            break;
+          }
+        }
+        ASSERT_EQ(mask.test(bit), ref.test(bit));
+        ASSERT_EQ(mask.popcount(), ref.popcount());
+        ASSERT_EQ(mask.firstSet(), ref.firstSet());
+    }
+}
+
+} // namespace
+
+TEST(BitMaskProperty, MatchesReferenceAt37)
+{
+    randomizedAgainstReference<37>(101);
+}
+
+TEST(BitMaskProperty, MatchesReferenceAt64)
+{
+    randomizedAgainstReference<64>(202);
+}
+
+TEST(BitMaskProperty, MatchesReferenceAt65)
+{
+    randomizedAgainstReference<65>(303);
+}
+
+TEST(BitMaskProperty, MatchesReferenceAt128)
+{
+    randomizedAgainstReference<128>(404);
+}
+
+TEST(BitMaskProperty, MatchesReferenceAt256)
+{
+    randomizedAgainstReference<256>(505);
+}
