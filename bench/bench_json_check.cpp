@@ -27,6 +27,7 @@
  * Used by the ctest bench smoke tests and the CI bench-baseline job.
  */
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -204,6 +205,50 @@ comparePerf(const Json &artifact, const Json &baseline,
                 compared, maxRegression * 100.0);
 }
 
+/**
+ * Energy/ledger cross-check: any object (at any depth) carrying the
+ * triple {measured_cycles, avg_power_w, total_energy_j} must satisfy
+ * avg_power_w * measured_cycles * 1ns == total_energy_j to 1e-9
+ * relative — avg_power_w is derived from the ledger's integrated
+ * energy, so a disagreement means a point's energy totals were not
+ * produced by the ledger that produced its power.
+ */
+void
+checkEnergyAgreement(const Json &node, const std::string &path)
+{
+    if (node.isArray()) {
+        for (std::size_t i = 0; i < node.size(); ++i) {
+            checkEnergyAgreement(node.at(i),
+                                 path + "[" + std::to_string(i) + "]");
+        }
+        return;
+    }
+    if (!node.isObject())
+        return;
+    const Json *cycles = node.find("measured_cycles");
+    const Json *power = node.find("avg_power_w");
+    const Json *energy = node.find("total_energy_j");
+    if (cycles && power && energy && cycles->isNumber() &&
+        power->isNumber() && energy->isNumber()) {
+        // Router cycles are 1 ns (kRouterClockPeriod = 1000 ticks at
+        // 1e12 ticks/s), so the window span is measured_cycles * 1e-9 s.
+        const double expected =
+            power->asDouble() * cycles->asDouble() * 1e-9;
+        const double got = energy->asDouble();
+        const double tolerance = 1e-9 * std::max(1.0, std::abs(got));
+        if (std::abs(expected - got) > tolerance) {
+            char msg[256];
+            std::snprintf(msg, sizeof msg,
+                          "energy/ledger disagreement at %s: avg_power_w "
+                          "* window = %.17g J vs total_energy_j = %.17g J",
+                          path.c_str(), expected, got);
+            fail(msg);
+        }
+    }
+    for (const auto &[key, value] : node.items())
+        checkEnergyAgreement(value, path + "." + key);
+}
+
 void
 validate(const Json &root)
 {
@@ -234,6 +279,22 @@ validate(const Json &root)
         if (workload->asString().empty())
             fail("key 'workload' must not be empty");
     }
+    // "link_power" (from the --link-power flag) echoes the backend
+    // selection: an object carrying the spec string and the resolved
+    // backend name, both non-empty.  Typed-if-present for the same
+    // reason as "workload".
+    if (const Json *linkPower = root.find("link_power")) {
+        if (!linkPower->isObject())
+            fail("key 'link_power' must be an object");
+        for (const char *key : {"spec", "backend"}) {
+            const Json *v = linkPower->find(key);
+            if (!v || !v->isString() || v->asString().empty()) {
+                fail(std::string("link_power must carry a non-empty "
+                                 "string '") +
+                     key + "'");
+            }
+        }
+    }
     // Known typed result entries: trace_files rows (bench_trace_replay)
     // must carry the full size-comparison record.
     for (std::size_t i = 0; i < results.size(); ++i) {
@@ -253,6 +314,9 @@ validate(const Json &root)
             }
         }
     }
+    // Per-point energy totals must have come from the same ledger that
+    // produced the point's average power.
+    checkEnergyAgreement(results, "$.results");
 }
 
 } // namespace

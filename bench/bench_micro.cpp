@@ -240,7 +240,8 @@ measureEventQueue(std::uint64_t events,
 Json
 measureNetwork(const char *name, std::int32_t radix,
                std::int32_t partitions, std::int32_t numVcs, double rate,
-               Cycle warmup, Cycle measure)
+               Cycle warmup, Cycle measure,
+               const char *linkPower = "table")
 {
     double secs = 0.0;
     std::uint64_t events = 0;
@@ -251,6 +252,7 @@ measureNetwork(const char *name, std::int32_t radix,
         cfg.partitions = partitions;
         cfg.router.numVcs = numVcs;
         cfg.policy = network::PolicyKind::History;
+        cfg.linkPowerSpec = linkPower;
         network::Network net(cfg);
         traffic::PatternTraffic traffic(
             net.topology(), traffic::Pattern::UniformRandom, rate,
@@ -281,6 +283,7 @@ measureNetwork(const char *name, std::int32_t radix,
     j["partitions"] = Json(static_cast<std::int64_t>(partitions));
     j["num_vcs"] = Json(static_cast<std::int64_t>(numVcs));
     j["rate_pkts_per_node_cycle"] = Json(rate);
+    j["link_power"] = Json(linkPower);
     j["cycles"] = Json(static_cast<std::uint64_t>(warmup + measure));
     j["events"] = Json(events);
     j["flits_ejected"] = Json(res.flitsEjected);
@@ -362,6 +365,7 @@ writeArtifact(const std::string &path, std::uint64_t seed,
         std::int32_t partitions;
         std::int32_t numVcs;
         double rate;
+        const char *linkPower = "table";
     };
     constexpr NetPoint kNetPoints[] = {
         {"network_8x8_history_uniform", 8, 1, 2, 0.01},
@@ -387,11 +391,17 @@ writeArtifact(const std::string &path, std::uint64_t seed,
         // (EXPERIMENTS.md, "Wide-geometry fast path").
         {"network_8x8_history_wide16vc", 8, 1, 16, 0.05},
         {"network_16x16_history_wide13vc", 16, 1, 13, 0.05},
+        // Toggle link-power backend: the per-flit toggle/coupling
+        // energy path rides the channel-send hot loop, so this point
+        // keeps the per-flit charge from silently regressing it
+        // (compare against network_8x8_history_saturated).
+        {"network_8x8_history_saturated_toggle", 8, 1, 2, 0.07,
+         "toggle"},
     };
     for (const NetPoint &pt : kNetPoints) {
         Json nw = measureNetwork(pt.name, pt.radix, pt.partitions,
                                  pt.numVcs, pt.rate, nwWarmup,
-                                 nwMeasure);
+                                 nwMeasure, pt.linkPower);
         std::printf("  %s: %.3g cycles/sec, %.3g events/sec, "
                     "%.3g flits/sec\n",
                     pt.name, nw.find("cycles_per_sec")->asDouble(),

@@ -7,6 +7,7 @@
 
 #include "common/fatal.hpp"
 #include "common/json.hpp"
+#include "power/link_power.hpp"
 #include "workload/factory.hpp"
 
 #ifndef DVSNET_GIT_DESCRIBE
@@ -91,6 +92,13 @@ parseOptions(int argc, char **argv)
             workload::validateWorkloadSpec(opts.workload);
         if (!problems.empty())
             DVSNET_FATAL(joinProblems("invalid --workload", problems));
+    }
+    opts.linkPower = opts.raw.getString("link-power", "");
+    if (!opts.linkPower.empty()) {
+        const auto problems =
+            power::validateLinkPowerSpec(opts.linkPower);
+        if (!problems.empty())
+            DVSNET_FATAL(joinProblems("invalid --link-power", problems));
     }
     return opts;
 }
@@ -198,6 +206,8 @@ paperSpec(const BenchOptions &opts)
     spec.workload.seed = opts.seed;
     if (!opts.workload.empty())
         spec.workloadSpec = opts.workload;
+    if (!opts.linkPower.empty())
+        spec.network.linkPowerSpec = opts.linkPower;
     spec.network.partitions = opts.partitions;
     spec.warmup = opts.warmup;
     spec.measure = opts.measure;
@@ -235,6 +245,16 @@ printHeader(const std::string &figure, const std::string &what,
     root["workload"] =
         Json(opts.workload.empty() ? std::string("default")
                                    : opts.workload);
+    {
+        // Spec echo + resolved backend name; parse cannot fail here —
+        // parseOptions already validated a non-empty --link-power.
+        const std::string spec =
+            opts.linkPower.empty() ? std::string("table") : opts.linkPower;
+        Json linkPower = Json::object();
+        linkPower["spec"] = Json(spec);
+        linkPower["backend"] = Json(power::LinkPowerSpec::parse(spec).name);
+        root["link_power"] = std::move(linkPower);
+    }
     root["warmup_cycles"] = Json(static_cast<std::uint64_t>(opts.warmup));
     root["light_warmup_cycles"] =
         Json(static_cast<std::uint64_t>(opts.lightWarmup));

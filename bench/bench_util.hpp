@@ -73,6 +73,12 @@ struct BenchOptions
      *  default.  paperSpec() applies it, so every bench accepts it. */
     std::string workload;
 
+    /** Link power backend (`--link-power <name>[:key=val,...]` against
+     *  the power::LinkPowerFactory registry); empty keeps the default
+     *  table backend.  paperSpec() applies it, so every bench accepts
+     *  it; the spec is echoed in the artifact's `link_power` object. */
+    std::string linkPower;
+
     /** Binary name (argv[0] basename), echoed into the artifact. */
     std::string binaryName;
 

@@ -7,6 +7,38 @@
 namespace dvsnet::link
 {
 
+namespace
+{
+
+// Published per-link endpoint powers (Section 4.2): 200 mW at
+// 1 GHz / 2.5 V, 23.6 mW at 125 MHz / 0.9 V.  These two literals anchor
+// the P(V, f) fit; everything else reads them back through the table.
+constexpr double kStandardMaxLinkPowerW = 0.200;
+constexpr double kStandardMinLinkPowerW = 0.0236;
+
+const DvsLevelTable &
+cachedStandard10()
+{
+    static const DvsLevelTable table = DvsLevelTable::standard10();
+    return table;
+}
+
+} // namespace
+
+double
+maxLinkPowerW()
+{
+    const DvsLevelTable &table = cachedStandard10();
+    return table.level(table.fastest()).powerW;
+}
+
+double
+minLinkPowerW()
+{
+    const DvsLevelTable &table = cachedStandard10();
+    return table.level(table.slowest()).powerW;
+}
+
 DvsLevelTable
 DvsLevelTable::standard10()
 {
@@ -31,10 +63,10 @@ DvsLevelTable::standard10()
             (kMaxLinkVoltage - kMinLinkVoltage);
         f *= ratio;
     }
-    levels.front().powerW = kMaxLinkPowerW;
+    levels.front().powerW = kStandardMaxLinkPowerW;
     levels.back().frequencyHz = kMinLinkFrequencyHz;  // exact endpoint
     levels.back().voltage = kMinLinkVoltage;
-    levels.back().powerW = kMinLinkPowerW;
+    levels.back().powerW = kStandardMinLinkPowerW;
     return fromPoints(std::move(levels));
 }
 

@@ -102,9 +102,15 @@ inline constexpr double kMaxLinkFrequencyHz = 1e9;
 inline constexpr double kMinLinkFrequencyHz = 125e6;
 inline constexpr double kMaxLinkVoltage = 2.5;
 inline constexpr double kMinLinkVoltage = 0.9;
-inline constexpr double kMaxLinkPowerW = 0.200;
-inline constexpr double kMinLinkPowerW = 0.0236;
 inline constexpr std::size_t kNumDvsLevels = 10;
+
+/**
+ * Published endpoint powers, read back from the default table so the
+ * fitted law is the single source of truth: maxLinkPowerW() is
+ * standard10()'s fastest level, minLinkPowerW() its slowest.
+ */
+double maxLinkPowerW();
+double minLinkPowerW();
 
 /** Serial links per channel (8 links x 4 Gb/s = 32 Gb/s channel). */
 inline constexpr std::size_t kLinksPerChannel = 8;

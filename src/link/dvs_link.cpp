@@ -11,13 +11,19 @@ DvsChannel::DvsChannel(sim::Kernel &kernel, std::size_t ledgerIndex,
                        const DvsLevelTable &table,
                        const DvsLinkParams &params,
                        power::EnergyLedger *ledger,
-                       power::TransitionEnergyModel energyModel)
+                       power::TransitionEnergyModel energyModel,
+                       const power::LinkPowerModel *powerModel)
     : kernel_(kernel),
       ledgerIndex_(ledgerIndex),
       table_(table),
       params_(params),
       ledger_(ledger),
       energyModel_(energyModel),
+      defaultPowerModel_(table.coeffA(), table.coeffB()),
+      powerModel_(powerModel != nullptr ? powerModel
+                                        : &defaultPowerModel_),
+      chargeFlitEnergy_(powerModel_->chargesFlitEnergy() &&
+                        ledger != nullptr),
       level_(params.initialLevel),
       prevLevel_(params.initialLevel)
 {
@@ -72,7 +78,8 @@ DvsChannel::setOperatingPower(Tick now, double voltage, double frequencyHz)
 {
     if (ledger_ == nullptr)
         return;
-    const double perLink = table_.powerAt(voltage, frequencyHz);
+    const double perLink = powerModel_->operatingPowerW(voltage,
+                                                        frequencyHz);
     ledger_->setChannelPower(
         ledgerIndex_,
         perLink * static_cast<double>(params_.linksPerChannel), now);
@@ -111,6 +118,18 @@ DvsChannel::send(const router::Flit &flit, Tick earliest)
     ++flitsSent_;
     if (ctrFlitsSent_ != nullptr)
         ++*ctrFlitsSent_;
+
+    // Data-dependent backends charge a per-flit energy pulse from the
+    // toggle activity between consecutive payload words.  Sends are
+    // replayed in deterministic (tick, seq) order by the partitioned
+    // stepper, so prevPayload_ — and every pulse — is engine-invariant.
+    if (chargeFlitEnergy_) {
+        const std::uint64_t payload = power::flitPayloadWord(flit);
+        ledger_->addFlitEnergy(
+            ledgerIndex_,
+            powerModel_->flitEnergyJ(payload, prevPayload_, voltage_));
+        prevPayload_ = payload;
+    }
 
     // Serialization (one link cycle) + fixed wire propagation.  The
     // arrival is final here; while the downstream router is awake — the

@@ -50,6 +50,7 @@
 #include "common/types.hpp"
 #include "link/dvs_level.hpp"
 #include "power/energy_ledger.hpp"
+#include "power/link_power.hpp"
 #include "power/power_model.hpp"
 #include "router/inbox.hpp"
 #include "router/link_iface.hpp"
@@ -111,11 +112,15 @@ class DvsChannel final : public router::FlitChannel,
      * @param params transition characteristics
      * @param ledger energy ledger (may be nullptr in unit tests)
      * @param energyModel regulator transition-energy model
+     * @param powerModel link power backend (shared, caller-owned,
+     *        outlives us); nullptr selects a table backend fitted to
+     *        `table`, reproducing the pre-seam numbers bit-identically
      */
     DvsChannel(sim::Kernel &kernel, std::size_t ledgerIndex,
                const DvsLevelTable &table, const DvsLinkParams &params,
                power::EnergyLedger *ledger,
-               power::TransitionEnergyModel energyModel = {});
+               power::TransitionEnergyModel energyModel = {},
+               const power::LinkPowerModel *powerModel = nullptr);
 
     /**
      * Register this channel's counters and the transition-sequencing
@@ -220,6 +225,10 @@ class DvsChannel final : public router::FlitChannel,
     DvsLinkParams params_;
     power::EnergyLedger *ledger_;
     power::TransitionEnergyModel energyModel_;
+    power::TableLinkPowerModel defaultPowerModel_;  ///< nullptr fallback
+    const power::LinkPowerModel *powerModel_;
+    bool chargeFlitEnergy_;       ///< cached: backend charges + ledger set
+    std::uint64_t prevPayload_ = 0;  ///< last payload word carried
 
     router::Inbox<router::Flit> *flitSink_ = nullptr;
     router::Inbox<VcId> *creditSink_ = nullptr;

@@ -90,6 +90,8 @@ toJson(const RunResults &r)
     j["normalized_power"] = Json(r.normalizedPower);
     j["savings_factor"] = Json(r.savingsFactor);
     j["transition_energy_j"] = Json(r.transitionEnergyJ);
+    j["total_energy_j"] = Json(r.totalEnergyJ);
+    j["flit_energy_j"] = Json(r.flitEnergyJ);
     j["avg_channel_level"] = Json(r.avgChannelLevel);
     j["invariant_checks"] = Json(r.invariantChecks);
     j["invariant_failures"] = Json(r.invariantFailures);

@@ -41,6 +41,8 @@ struct RunResults
     double normalizedPower = 1.0;  ///< vs all-links-at-max
     double savingsFactor = 1.0;    ///< reference / measured (paper's "X")
     double transitionEnergyJ = 0.0;
+    double totalEnergyJ = 0.0;     ///< window energy incl. all charges
+    double flitEnergyJ = 0.0;      ///< data-dependent per-flit share
     double avgChannelLevel = 0.0;  ///< mean DVS level at run end
 
     /** SimAssert totals over the run's registry at collection time, so

@@ -78,6 +78,7 @@ toJson(const NetworkConfig &config)
     j["routing"] = Json(routingKindName(config.routing));
     j["packet_length"] =
         Json(static_cast<std::int64_t>(config.packetLength));
+    j["link_power"] = Json(config.linkPowerSpec);
     j["partitions"] =
         Json(static_cast<std::int64_t>(config.partitions));
     return j;
@@ -115,6 +116,8 @@ NetworkConfig::validate() const
     }
     if (policy != PolicyKind::None && policyWindow < 1)
         complain("policyWindow must be >= 1 cycle");
+    for (const auto &problem : power::validateLinkPowerSpec(linkPowerSpec))
+        problems.push_back(problem);
     if (policy == PolicyKind::StaticLevel &&
         staticLevel >= link::kNumDvsLevels) {
         complain("staticLevel ", staticLevel, " is outside the ",
@@ -166,12 +169,22 @@ Network::build()
     }
 
     // Energy ledger: reference = every channel pinned at the fastest
-    // level (the paper's non-DVS network).
+    // level (the paper's non-DVS network).  The reference is always the
+    // table law regardless of the selected backend, so normalized power
+    // stays comparable across backends (DESIGN.md "Link power
+    // backends").
     const double channelRefW =
         levels_.level(levels_.fastest()).powerW *
         static_cast<double>(config_.link.linksPerChannel);
     ledger_ = std::make_unique<power::EnergyLedger>(
         topo_.channels().size(), channelRefW);
+
+    // One shared link-power backend drives every channel; the spec was
+    // validated with the config, so build() cannot reject it here.
+    linkPowerModel_ = power::buildLinkPowerModel(
+        config_.linkPowerSpec,
+        power::LinkPowerContext{levels_.coeffA(), levels_.coeffB(),
+                                config_.link.linksPerChannel});
 
     // Routers + terminals.
     const auto perVcCapacity =
@@ -196,7 +209,8 @@ Network::build()
     for (const auto &ch : topo_.channels()) {
         auto channel = std::make_unique<link::DvsChannel>(
             kernel_, static_cast<std::size_t>(ch.id), levels_,
-            config_.link, ledger_.get());
+            config_.link, ledger_.get(), power::TransitionEnergyModel{},
+            linkPowerModel_.get());
         channel->attachObservability(&registry_);
         channel->connectFlitSink(
             &routers_[static_cast<std::size_t>(ch.dst)]->flitInbox(
@@ -690,6 +704,8 @@ Network::collect() const
     res.normalizedPower = ledger_->normalizedPower(now);
     res.savingsFactor = ledger_->savingsFactor(now);
     res.transitionEnergyJ = ledger_->totalTransitionEnergy();
+    res.totalEnergyJ = ledger_->totalEnergy(now);
+    res.flitEnergyJ = ledger_->totalFlitEnergy();
     res.avgChannelLevel = averageChannelLevel();
     res.invariantChecks = registry_.totalInvariantChecks();
     res.invariantFailures = registry_.totalInvariantFailures();

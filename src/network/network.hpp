@@ -83,6 +83,15 @@ struct NetworkConfig
     std::uint16_t packetLength = 5;  ///< flits per packet
 
     /**
+     * Link power backend spec, `<name>[:key=val,...]` — "table" (the
+     * paper's fitted law, default) or "toggle:key=val,..." (data-
+     * dependent per-flit toggle/coupling energy).  Validated against
+     * the power::LinkPowerFactory registry; one shared backend instance
+     * is built per network and drives every channel.
+     */
+    std::string linkPowerSpec = "table";
+
+    /**
      * Domain-decomposition width of the per-quantum router step: the
      * mesh is split into this many contiguous node-id blocks, each
      * stepped by its own thread under a barrier-synced quantum, with
@@ -324,6 +333,7 @@ class Network
     sim::Kernel kernel_;
     link::DvsLevelTable levels_;
     std::unique_ptr<power::EnergyLedger> ledger_;
+    std::unique_ptr<power::LinkPowerModel> linkPowerModel_;
     std::unique_ptr<router::RoutingAlgorithm> routing_;
     std::vector<std::unique_ptr<router::Router>> routers_;
     std::vector<std::unique_ptr<link::DvsChannel>> channels_;

@@ -34,13 +34,24 @@ EnergyLedger::addTransitionEnergy(std::size_t ch, double joules)
 }
 
 void
+EnergyLedger::addFlitEnergy(std::size_t ch, double joules)
+{
+    DVSNET_ASSERT(ch < accounts_.size(), "channel out of range");
+    accounts_[ch].flitJ += joules;
+    accounts_[ch].windowFlitJ += joules;
+    totalFlitJ_ += joules;
+}
+
+void
 EnergyLedger::beginWindow(Tick now)
 {
     windowStart_ = now;
     totalTransitionJ_ = 0.0;
+    totalFlitJ_ = 0.0;
     for (auto &acc : accounts_) {
         acc.power.resetWindow(ticksToSeconds(now));
         acc.windowTransitionJ = 0.0;
+        acc.windowFlitJ = 0.0;
     }
 }
 
@@ -59,7 +70,8 @@ EnergyLedger::channelAveragePower(std::size_t ch, Tick now) const
     if (span <= 0.0)
         return accounts_[ch].power.value();
     return (accounts_[ch].power.integral(ticksToSeconds(now)) +
-            accounts_[ch].windowTransitionJ) / span;
+            accounts_[ch].windowTransitionJ + accounts_[ch].windowFlitJ) /
+           span;
 }
 
 double
@@ -67,7 +79,7 @@ EnergyLedger::channelEnergy(std::size_t ch, Tick now) const
 {
     DVSNET_ASSERT(ch < accounts_.size(), "channel out of range");
     return accounts_[ch].power.integral(ticksToSeconds(now)) +
-           accounts_[ch].windowTransitionJ;
+           accounts_[ch].windowTransitionJ + accounts_[ch].windowFlitJ;
 }
 
 double
@@ -78,9 +90,16 @@ EnergyLedger::channelTransitionEnergy(std::size_t ch) const
 }
 
 double
+EnergyLedger::channelFlitEnergy(std::size_t ch) const
+{
+    DVSNET_ASSERT(ch < accounts_.size(), "channel out of range");
+    return accounts_[ch].windowFlitJ;
+}
+
+double
 EnergyLedger::totalEnergy(Tick now) const
 {
-    double joules = totalTransitionJ_;
+    double joules = totalTransitionJ_ + totalFlitJ_;
     const double t = ticksToSeconds(now);
     for (const auto &acc : accounts_)
         joules += acc.power.integral(t);
@@ -132,6 +151,13 @@ EnergyLedger::verify(SimAssert &inv, Tick now) const
                   1e-9 * std::max(1.0, std::abs(totalTransitionJ_)),
               "transition-energy disagreement: per-channel sum ",
               transitionSum, " J vs total ", totalTransitionJ_, " J");
+    double flitSum = 0.0;
+    for (const auto &acc : accounts_)
+        flitSum += acc.windowFlitJ;
+    inv.check(std::abs(flitSum - totalFlitJ_) <=
+                  1e-9 * std::max(1.0, std::abs(totalFlitJ_)),
+              "flit-energy disagreement: per-channel sum ", flitSum,
+              " J vs total ", totalFlitJ_, " J");
 }
 
 Json
@@ -141,6 +167,7 @@ EnergyLedger::toJson(Tick now) const
     j["reference_power_w"] = Json(referencePower());
     j["total_energy_j"] = Json(totalEnergy(now));
     j["transition_energy_j"] = Json(totalTransitionJ_);
+    j["flit_energy_j"] = Json(totalFlitJ_);
     j["average_power_w"] = Json(averagePower(now));
     j["normalized_power"] = Json(normalizedPower(now));
     Json channels = Json::array();
@@ -149,6 +176,7 @@ EnergyLedger::toJson(Tick now) const
         entry["channel"] = Json(static_cast<std::uint64_t>(ch));
         entry["energy_j"] = Json(channelEnergy(ch, now));
         entry["transition_j"] = Json(channelTransitionEnergy(ch));
+        entry["flit_j"] = Json(channelFlitEnergy(ch));
         entry["avg_power_w"] = Json(channelAveragePower(ch, now));
         entry["power_now_w"] = Json(channelPowerNow(ch));
         channels.push(std::move(entry));

@@ -40,6 +40,14 @@ class EnergyLedger
     /** Add voltage-transition overhead energy (J) to channel `ch`. */
     void addTransitionEnergy(std::size_t ch, double joules);
 
+    /**
+     * Add per-flit (data-dependent) energy (J) to channel `ch`.
+     * Charged by link-power backends whose dynamic energy depends on
+     * payload activity; composes with the window accounting exactly
+     * like transition energy.
+     */
+    void addFlitEnergy(std::size_t ch, double joules);
+
     /** Restart the measurement window (e.g. after warm-up). */
     void beginWindow(Tick now);
 
@@ -55,11 +63,18 @@ class EnergyLedger
     /** Transition overhead charged to channel `ch` this window (J). */
     double channelTransitionEnergy(std::size_t ch) const;
 
-    /** Total network energy over the window (J, incl. transitions). */
+    /** Per-flit energy charged to channel `ch` this window (J). */
+    double channelFlitEnergy(std::size_t ch) const;
+
+    /** Total network energy over the window (J, incl. transitions
+     *  and per-flit charges). */
     double totalEnergy(Tick now) const;
 
     /** Total transition overhead energy over the window (J). */
     double totalTransitionEnergy() const { return totalTransitionJ_; }
+
+    /** Total per-flit energy over the window (J). */
+    double totalFlitEnergy() const { return totalFlitJ_; }
 
     /** Mean network power over the window (W). */
     double averagePower(Tick now) const;
@@ -91,7 +106,8 @@ class EnergyLedger
     /**
      * Per-channel energy/transition breakdown plus totals:
      * {"reference_power_w", "total_energy_j", "transition_energy_j",
-     *  "average_power_w", "normalized_power", "channels": [...]}.
+     *  "flit_energy_j", "average_power_w", "normalized_power",
+     *  "channels": [...]}.
      */
     Json toJson(Tick now) const;
 
@@ -101,11 +117,14 @@ class EnergyLedger
         TimeWeightedAverage power;  ///< time axis in seconds
         double transitionJ = 0.0;
         double windowTransitionJ = 0.0;
+        double flitJ = 0.0;
+        double windowFlitJ = 0.0;
     };
 
     std::vector<Account> accounts_;
     double referencePowerW_;
     double totalTransitionJ_ = 0.0;
+    double totalFlitJ_ = 0.0;
     Tick windowStart_ = 0;
 };
 

@@ -1,0 +1,357 @@
+#include "power/link_power.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <charconv>
+
+#include "common/fatal.hpp"
+#include "common/rng.hpp"
+
+namespace dvsnet::power
+{
+
+namespace
+{
+
+double
+parseDouble(const std::string &key, const std::string &value)
+{
+    double out = 0.0;
+    const char *end = value.data() + value.size();
+    auto [ptr, ec] = std::from_chars(value.data(), end, out);
+    if (ec != std::errc{} || ptr != end) {
+        throw ConfigError(detail::concat("link-power key '", key,
+                                         "': expected a number, got '",
+                                         value, "'"));
+    }
+    return out;
+}
+
+std::int64_t
+parseInt(const std::string &key, const std::string &value)
+{
+    std::int64_t out = 0;
+    const char *end = value.data() + value.size();
+    auto [ptr, ec] = std::from_chars(value.data(), end, out);
+    if (ec != std::errc{} || ptr != end) {
+        throw ConfigError(detail::concat("link-power key '", key,
+                                         "': expected an integer, got '",
+                                         value, "'"));
+    }
+    return out;
+}
+
+std::string
+joinList(const std::vector<std::string> &items)
+{
+    std::string out;
+    for (const auto &item : items) {
+        if (!out.empty())
+            out += ", ";
+        out += item;
+    }
+    return out;
+}
+
+std::unique_ptr<LinkPowerModel>
+buildTable(const LinkPowerSpec &, const LinkPowerContext &context)
+{
+    return std::make_unique<TableLinkPowerModel>(context.coeffA,
+                                                 context.coeffB);
+}
+
+std::unique_ptr<LinkPowerModel>
+buildToggle(const LinkPowerSpec &spec, const LinkPowerContext &context)
+{
+    auto params = ToggleLinkPowerModel::defaultParams(context);
+    if (const auto *v = spec.find("idle")) {
+        params.idleFraction = parseDouble("idle", *v);
+        if (params.idleFraction < 0.0 || params.idleFraction > 1.0) {
+            throw ConfigError(detail::concat(
+                "link-power key 'idle': must be in [0, 1], got ", *v));
+        }
+    }
+    if (const auto *v = spec.find("width")) {
+        const std::int64_t width = parseInt("width", *v);
+        if (width < 1 || width > 64) {
+            throw ConfigError(detail::concat(
+                "link-power key 'width': must be in [1, 64], got ", *v));
+        }
+        params.payloadWidth = static_cast<std::uint32_t>(width);
+    }
+    // Re-derive the calibrated capacitances from the final idle fraction
+    // and width (see defaultParams), then let explicit cw/cc override.
+    params.toggleCapacitanceF =
+        8.0 * (1.0 - params.idleFraction) * context.coeffA *
+        static_cast<double>(context.linksPerChannel) /
+        (5.0 * static_cast<double>(params.payloadWidth));
+    params.couplingCapacitanceF = params.toggleCapacitanceF / 2.0;
+    if (const auto *v = spec.find("cw")) {
+        params.toggleCapacitanceF = parseDouble("cw", *v);
+        if (params.toggleCapacitanceF < 0.0) {
+            throw ConfigError(detail::concat(
+                "link-power key 'cw': must be >= 0, got ", *v));
+        }
+        // An explicit Cw keeps the default Cc = Cw/2 coupling ratio
+        // unless the spec also pins Cc.
+        params.couplingCapacitanceF = params.toggleCapacitanceF / 2.0;
+    }
+    if (const auto *v = spec.find("cc")) {
+        params.couplingCapacitanceF = parseDouble("cc", *v);
+        if (params.couplingCapacitanceF < 0.0) {
+            throw ConfigError(detail::concat(
+                "link-power key 'cc': must be >= 0, got ", *v));
+        }
+    }
+    return std::make_unique<ToggleLinkPowerModel>(params, context.coeffA,
+                                                  context.coeffB);
+}
+
+void
+registerBuiltins(LinkPowerFactory &factory)
+{
+    factory.add("table",
+                "the paper's fitted P(V,f) = a*V^2*f + b per-level law",
+                {}, buildTable);
+    factory.add("toggle",
+                "data-dependent toggle/coupling energy per flit on top "
+                "of a static floor",
+                {"cw", "cc", "idle", "width"}, buildToggle);
+}
+
+} // namespace
+
+std::uint64_t
+flitPayloadWord(const router::Flit &flit)
+{
+    // Golden-ratio mix of the flit's deterministic identity; splitmix64
+    // gives avalanche so consecutive seq numbers produce ~random words.
+    std::uint64_t state =
+        flit.packet * 0x9e3779b97f4a7c15ull + flit.seq;
+    return splitmix64(state);
+}
+
+ToggleLinkPowerModel::Params
+ToggleLinkPowerModel::defaultParams(const LinkPowerContext &context)
+{
+    Params p;
+    p.idleFraction = 0.5;
+    p.payloadWidth = 32;
+    // Calibrate so a fully utilized channel carrying random data matches
+    // the table backend's dynamic power: random consecutive words toggle
+    // width/2 bits and couple ~width/4 adjacent pairs per flit, and one
+    // flit per link period means E_flit * f must equal the non-idle
+    // share (1 - idle) * a * V^2 * f * linksPerChannel.  With
+    // Cc = Cw/2 that gives Cw = 8*(1-idle)*a*L / (5*width).
+    const double width = static_cast<double>(p.payloadWidth);
+    p.toggleCapacitanceF =
+        8.0 * (1.0 - p.idleFraction) * context.coeffA *
+        static_cast<double>(context.linksPerChannel) / (5.0 * width);
+    p.couplingCapacitanceF = p.toggleCapacitanceF / 2.0;
+    return p;
+}
+
+ToggleLinkPowerModel::ToggleLinkPowerModel(const Params &params,
+                                           double coeffA, double coeffB)
+    : params_(params), coeffA_(coeffA), coeffB_(coeffB)
+{
+    DVSNET_ASSERT(params_.payloadWidth >= 1 && params_.payloadWidth <= 64,
+                  "toggle payload width out of range");
+    payloadMask_ = params_.payloadWidth == 64
+                       ? ~std::uint64_t{0}
+                       : (std::uint64_t{1} << params_.payloadWidth) - 1;
+}
+
+double
+ToggleLinkPowerModel::flitEnergyJ(std::uint64_t payload,
+                                  std::uint64_t prevPayload,
+                                  double voltage) const
+{
+    const std::uint64_t flips = (payload ^ prevPayload) & payloadMask_;
+    const int toggles = std::popcount(flips);
+    const int couplings = std::popcount(flips & (flips >> 1));
+    return (static_cast<double>(toggles) * params_.toggleCapacitanceF +
+            static_cast<double>(couplings) * params_.couplingCapacitanceF) *
+           voltage * voltage;
+}
+
+LinkPowerSpec
+LinkPowerSpec::parse(const std::string &text)
+{
+    LinkPowerSpec spec;
+    const std::size_t colon = text.find(':');
+    spec.name = text.substr(0, colon);
+    if (spec.name.empty())
+        throw ConfigError("link-power spec: empty backend name");
+
+    if (colon == std::string::npos)
+        return spec;
+    std::size_t pos = colon + 1;
+    while (pos <= text.size()) {
+        std::size_t comma = text.find(',', pos);
+        if (comma == std::string::npos)
+            comma = text.size();
+        const std::string item = text.substr(pos, comma - pos);
+        const std::size_t eq = item.find('=');
+        if (item.empty() || eq == std::string::npos || eq == 0) {
+            throw ConfigError(detail::concat(
+                "link-power spec '", text, "': expected key=value, got '",
+                item, "'"));
+        }
+        spec.params.emplace_back(item.substr(0, eq), item.substr(eq + 1));
+        pos = comma + 1;
+    }
+    return spec;
+}
+
+std::string
+LinkPowerSpec::toString() const
+{
+    std::string out = name;
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        out += i == 0 ? ':' : ',';
+        out += params[i].first;
+        out += '=';
+        out += params[i].second;
+    }
+    return out;
+}
+
+const std::string *
+LinkPowerSpec::find(const std::string &key) const
+{
+    for (const auto &[k, v] : params) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+LinkPowerFactory &
+LinkPowerFactory::instance()
+{
+    static LinkPowerFactory factory = [] {
+        LinkPowerFactory f;
+        registerBuiltins(f);
+        return f;
+    }();
+    return factory;
+}
+
+void
+LinkPowerFactory::add(const std::string &name,
+                      const std::string &description,
+                      std::vector<std::string> keys, Builder builder)
+{
+    DVSNET_ASSERT(!name.empty() && builder, "bad link-power registration");
+    for (auto &entry : entries_) {
+        if (entry.name == name) {
+            entry = Entry{name, description, std::move(keys),
+                          std::move(builder)};
+            return;
+        }
+    }
+    entries_.push_back(
+        Entry{name, description, std::move(keys), std::move(builder)});
+}
+
+bool
+LinkPowerFactory::known(const std::string &name) const
+{
+    return lookup(name) != nullptr;
+}
+
+std::vector<std::string>
+LinkPowerFactory::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto &entry : entries_)
+        out.push_back(entry.name);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::string
+LinkPowerFactory::description(const std::string &name) const
+{
+    const Entry *entry = lookup(name);
+    return entry != nullptr ? entry->description : std::string();
+}
+
+std::vector<std::string>
+LinkPowerFactory::keys(const std::string &name) const
+{
+    const Entry *entry = lookup(name);
+    return entry != nullptr ? entry->keys : std::vector<std::string>();
+}
+
+std::vector<std::string>
+LinkPowerFactory::validate(const LinkPowerSpec &spec) const
+{
+    std::vector<std::string> problems;
+    const Entry *entry = lookup(spec.name);
+    if (entry == nullptr) {
+        problems.push_back(detail::concat(
+            "unknown link-power backend '", spec.name, "' (registered: ",
+            joinList(names()), ")"));
+        return problems;
+    }
+    for (const auto &[key, value] : spec.params) {
+        (void)value;
+        if (std::find(entry->keys.begin(), entry->keys.end(), key) ==
+            entry->keys.end()) {
+            problems.push_back(detail::concat(
+                "link-power '", spec.name, "': unknown key '", key, "' (",
+                entry->keys.empty()
+                    ? "takes no keys"
+                    : detail::concat("valid: ", joinList(entry->keys)),
+                ")"));
+        }
+    }
+    return problems;
+}
+
+const LinkPowerFactory::Entry *
+LinkPowerFactory::lookup(const std::string &name) const
+{
+    for (const auto &entry : entries_) {
+        if (entry.name == name)
+            return &entry;
+    }
+    return nullptr;
+}
+
+std::unique_ptr<LinkPowerModel>
+LinkPowerFactory::build(const LinkPowerSpec &spec,
+                        const LinkPowerContext &context) const
+{
+    auto problems = validate(spec);
+    if (!problems.empty())
+        throw ConfigError(joinProblems("invalid link-power spec", problems));
+    const Entry *entry = lookup(spec.name);
+    auto model = entry->builder(spec, context);
+    DVSNET_ASSERT(model != nullptr, "link-power builder returned null");
+    return model;
+}
+
+std::vector<std::string>
+validateLinkPowerSpec(const std::string &text)
+{
+    try {
+        const LinkPowerSpec spec = LinkPowerSpec::parse(text);
+        return LinkPowerFactory::instance().validate(spec);
+    } catch (const ConfigError &e) {
+        return {e.what()};
+    }
+}
+
+std::unique_ptr<LinkPowerModel>
+buildLinkPowerModel(const std::string &text,
+                    const LinkPowerContext &context)
+{
+    return LinkPowerFactory::instance().build(LinkPowerSpec::parse(text),
+                                              context);
+}
+
+} // namespace dvsnet::power

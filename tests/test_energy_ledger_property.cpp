@@ -37,6 +37,7 @@ struct Reference
         double lastTime = 0.0;   ///< seconds of last change/window edge
         double area = 0.0;       ///< integral since window start (J)
         double transitionJ = 0.0;
+        double flitJ = 0.0;      ///< per-flit deposits (toggle backend)
     };
 
     explicit Reference(std::size_t n) : channels(n) {}
@@ -58,6 +59,12 @@ struct Reference
     }
 
     void
+    addFlit(std::size_t ch, double joules)
+    {
+        channels[ch].flitJ += joules;
+    }
+
+    void
     beginWindow(Tick now)
     {
         const double t = ticksToSeconds(now);
@@ -65,6 +72,7 @@ struct Reference
             c.lastTime = t;
             c.area = 0.0;
             c.transitionJ = 0.0;
+            c.flitJ = 0.0;
         }
     }
 
@@ -74,7 +82,7 @@ struct Reference
         const auto &c = channels[ch];
         return c.area +
                c.power * (ticksToSeconds(now) - c.lastTime) +
-               c.transitionJ;
+               c.transitionJ + c.flitJ;
     }
 
     double
@@ -108,7 +116,7 @@ TEST(EnergyLedgerProperty, RandomizedSequencesAgreeWithReference)
             now += 1 + rng.next() % 5000;  // strictly increasing time
             const auto ch =
                 static_cast<std::size_t>(rng.next() % kChannels);
-            switch (rng.next() % 4) {
+            switch (rng.next() % 5) {
             case 0:
             case 1: {  // power change (the common operation)
                 const double p = rng.uniform() * 2.0;
@@ -120,6 +128,12 @@ TEST(EnergyLedgerProperty, RandomizedSequencesAgreeWithReference)
                 const double j = rng.uniform() * 1e-6;
                 ledger.addTransitionEnergy(ch, j);
                 ref.addTransition(ch, j);
+                break;
+            }
+            case 3: {  // per-flit deposit (data-dependent backend)
+                const double j = rng.uniform() * 1e-9;
+                ledger.addFlitEnergy(ch, j);
+                ref.addFlit(ch, j);
                 break;
             }
             default: {  // read-only probe mid-sequence
@@ -154,9 +168,11 @@ TEST(EnergyLedgerProperty, RandomizedSequencesAgreeWithReference)
             ref.beginWindow(now);
             EXPECT_EQ(ledger.totalEnergy(now), 0.0);
             EXPECT_EQ(ledger.totalTransitionEnergy(), 0.0);
+            EXPECT_EQ(ledger.totalFlitEnergy(), 0.0);
             for (std::size_t ch = 0; ch < kChannels; ++ch) {
                 EXPECT_EQ(ledger.channelEnergy(ch, now), 0.0);
                 EXPECT_EQ(ledger.channelTransitionEnergy(ch), 0.0);
+                EXPECT_EQ(ledger.channelFlitEnergy(ch), 0.0);
                 EXPECT_EQ(ledger.channelPowerNow(ch), levels[ch]);
             }
         }

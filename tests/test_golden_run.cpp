@@ -138,6 +138,40 @@ TEST(GoldenRun, HistoryDvs4x4MeshPinnedResults)
         });
 }
 
+TEST(GoldenRun, HistoryDvs4x4MeshToggleBackendPinnedResults)
+{
+    // Same operating point as HistoryDvs4x4MeshPinnedResults but with
+    // the data-dependent toggle link-power backend.  The packet-level
+    // pins must match the table-backend run exactly — the backend only
+    // changes energy accounting, never traffic — while the power pins
+    // capture the payload-hash-driven per-flit charges.  Pinned across
+    // partitions 1/2/4 like every golden: the per-flit deposits happen
+    // inside the deferred-op replay, so they are bit-reproducible.
+    ExperimentSpec spec = goldenSpec(PolicyKind::History);
+    spec.network.linkPowerSpec = "toggle";
+    forEachPartitionCount(spec, kInjectionRate, [](const RunResults &r) {
+        EXPECT_EQ(r.measuredCycles, 12000u);
+        EXPECT_EQ(r.packetsCreated, 3851u);
+        EXPECT_EQ(r.packetsDelivered, 3839u);
+        EXPECT_EQ(r.flitsEjected, 19279u);
+        expectNearRel(r.avgLatencyCycles, 83.753739255014395,
+                      "avg latency");
+
+        expectNearRel(r.avgPowerW, 31.296137848464241, "avg power");
+        expectNearRel(r.normalizedPower, 0.4075017949018781,
+                      "normalized power");
+        expectNearRel(r.transitionEnergyJ, 2.9762115693893932e-05,
+                      "transition energy");
+        expectNearRel(r.flitEnergyJ, 2.371328696388553e-05,
+                      "flit energy");
+        expectNearRel(r.totalEnergyJ, 0.00037555365418157093,
+                      "total energy");
+
+        EXPECT_GT(r.invariantChecks, 0u);
+        EXPECT_EQ(r.invariantFailures, 0u);
+    });
+}
+
 TEST(GoldenRun, NoDvs4x4MeshPinnedReferencePoint)
 {
     forEachPartitionCount(

@@ -99,6 +99,8 @@ expectIdentical(const RunCapture &serial, const RunCapture &parallel,
     EXPECT_EQ(a.normalizedPower, b.normalizedPower);
     EXPECT_EQ(a.savingsFactor, b.savingsFactor);
     EXPECT_EQ(a.transitionEnergyJ, b.transitionEnergyJ);
+    EXPECT_EQ(a.totalEnergyJ, b.totalEnergyJ);
+    EXPECT_EQ(a.flitEnergyJ, b.flitEnergyJ);
     EXPECT_EQ(a.avgChannelLevel, b.avgChannelLevel);
     EXPECT_EQ(a.invariantChecks, b.invariantChecks);
     EXPECT_EQ(a.invariantFailures, b.invariantFailures);
@@ -197,6 +199,20 @@ TEST(ParallelStepper, Cube2x2x2NoDvsUniformAllPartitionCounts)
     spec.workload.seed = seed;
     expectLockstepEquivalence(spec, randomRate(0.1, 0.25), seed,
                               {2, 4, 8});
+}
+
+TEST(ParallelStepper, Mesh4x4HistoryToggleLinkPower)
+{
+    // Data-dependent link energy: every flit traversal deposits a
+    // payload-hash-derived energy pulse into the ledger from inside the
+    // deferred-op replay, so any cross-partition reordering of sends
+    // would change per-channel flit-energy sums bit-visibly.
+    ExperimentSpec spec = baseSpec();
+    spec.network.policy = PolicyKind::History;
+    spec.network.linkPowerSpec = "toggle";
+    const std::uint64_t seed = randomSeed();
+    spec.workload.seed = seed;
+    expectLockstepEquivalence(spec, randomRate(0.15, 0.3), seed, {2, 4});
 }
 
 TEST(ParallelStepper, Mesh4x4ClosedLoopCmpWorkload)
