@@ -249,6 +249,61 @@ checkEnergyAgreement(const Json &node, const std::string &path)
         checkEnergyAgreement(value, path + "." + key);
 }
 
+/**
+ * Typed `pareto_search` result entry (the search driver binaries): the
+ * spec echo, a completion flag, the evaluation/cache counters, and a
+ * front whose points all carry numeric objective vectors of a shared
+ * arity.  A completed search must have a non-empty front; an
+ * interrupted one (budget exhausted) may legitimately have none.
+ */
+void
+checkParetoSearchEntry(const Json &entry)
+{
+    const Json *spec = entry.find("search");
+    if (!spec || !spec->isString() || spec->asString().empty())
+        fail("pareto_search result missing non-empty string 'search'");
+    const Json *completed = entry.find("completed");
+    if (!completed || !completed->isBool())
+        fail("pareto_search result missing bool 'completed'");
+    for (const char *key : {"candidates", "network_evals",
+                            "network_evals_full", "cache_hits",
+                            "culled"}) {
+        const Json *v = entry.find(key);
+        if (!v || !v->isNumber()) {
+            fail(std::string("pareto_search result missing numeric '") +
+                 key + "'");
+        }
+    }
+    const Json *front = entry.find("front");
+    if (!front || !front->isArray())
+        fail("pareto_search result missing array 'front'");
+    if (completed->asBool() && front->size() == 0)
+        fail("pareto_search front is empty on a completed search");
+    std::size_t arity = 0;
+    for (std::size_t i = 0; i < front->size(); ++i) {
+        const Json &point = front->at(i);
+        const Json *obj =
+            point.isObject() ? point.find("objectives") : nullptr;
+        if (!obj || !obj->isArray() || obj->size() == 0) {
+            fail("pareto_search front point " + std::to_string(i) +
+                 " missing non-empty array 'objectives'");
+        }
+        if (i == 0)
+            arity = obj->size();
+        if (obj->size() != arity) {
+            fail("pareto_search front point " + std::to_string(i) +
+                 " has mixed objective arity");
+        }
+        for (std::size_t k = 0; k < obj->size(); ++k) {
+            if (!obj->at(k).isNumber()) {
+                fail("pareto_search front point " + std::to_string(i) +
+                     " objective " + std::to_string(k) +
+                     " is not a number");
+            }
+        }
+    }
+}
+
 void
 validate(const Json &root)
 {
@@ -296,22 +351,29 @@ validate(const Json &root)
         }
     }
     // Known typed result entries: trace_files rows (bench_trace_replay)
-    // must carry the full size-comparison record.
+    // must carry the full size-comparison record; pareto_search rows
+    // (the search driver binaries) must carry the spec echo, the
+    // evaluation/cache counters and a well-formed front.
     for (std::size_t i = 0; i < results.size(); ++i) {
         const Json &entry = results.at(i);
         if (!entry.isObject())
             continue;
         const Json *type = entry.find("type");
-        if (!type || !type->isString() ||
-            type->asString() != "trace_files")
+        if (!type || !type->isString())
             continue;
-        for (const char *key : {"entries", "csv_bytes", "binary_bytes",
-                                "compression_vs_csv"}) {
-            const Json *v = entry.find(key);
-            if (!v || !v->isNumber()) {
-                fail(std::string("trace_files result missing numeric '") +
-                     key + "'");
+        if (type->asString() == "trace_files") {
+            for (const char *key : {"entries", "csv_bytes",
+                                    "binary_bytes",
+                                    "compression_vs_csv"}) {
+                const Json *v = entry.find(key);
+                if (!v || !v->isNumber()) {
+                    fail(std::string(
+                             "trace_files result missing numeric '") +
+                         key + "'");
+                }
             }
+        } else if (type->asString() == "pareto_search") {
+            checkParetoSearchEntry(entry);
         }
     }
     // Per-point energy totals must have come from the same ledger that

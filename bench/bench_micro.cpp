@@ -9,6 +9,8 @@
  * writes a `dvsnet-bench-v1` artifact — the committed BENCH_micro.json
  * perf baseline is produced this way.  `--quick` shrinks the timed pass
  * and skips the google-benchmark suite entirely (CI smoke mode).
+ * `--net-filter <substring>` restricts the whole-network timed points
+ * to names containing the substring (the event-queue pass always runs).
  */
 
 #include <benchmark/benchmark.h>
@@ -18,6 +20,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -34,6 +37,7 @@
 #include "sim/event_queue.hpp"
 #include "topo/topology.hpp"
 #include "traffic/pattern_traffic.hpp"
+#include "workload/factory.hpp"
 
 using namespace dvsnet;
 
@@ -42,6 +46,10 @@ namespace
 
 /** Base seed for the RNG micro-benchmarks (--seed S overrides). */
 std::uint64_t g_seed = 12345;
+
+/** Substring filter for the whole-network timed points
+ *  (`--net-filter <substring>`; empty = run all). */
+std::string g_netFilter;
 
 void
 BM_EventQueueScheduleExecute(benchmark::State &state)
@@ -241,7 +249,8 @@ Json
 measureNetwork(const char *name, std::int32_t radix,
                std::int32_t partitions, std::int32_t numVcs, double rate,
                Cycle warmup, Cycle measure,
-               const char *linkPower = "table")
+               const char *linkPower = "table",
+               const char *workloadSpec = "uniform")
 {
     double secs = 0.0;
     std::uint64_t events = 0;
@@ -254,10 +263,21 @@ measureNetwork(const char *name, std::int32_t radix,
         cfg.policy = network::PolicyKind::History;
         cfg.linkPowerSpec = linkPower;
         network::Network net(cfg);
+        // "uniform" keeps the historical direct PatternTraffic path
+        // (rate is per node); anything else goes through the workload
+        // factory, whose context rate is network-wide packets/cycle.
         traffic::PatternTraffic traffic(
             net.topology(), traffic::Pattern::UniformRandom, rate,
             static_cast<std::uint64_t>(g_seed));
-        net.attachTraffic(traffic);
+        std::unique_ptr<traffic::TrafficGenerator> generator;
+        if (std::strcmp(workloadSpec, "uniform") == 0) {
+            net.attachTraffic(traffic);
+        } else {
+            workload::WorkloadContext context{net.topology(), rate,
+                                              g_seed, {}};
+            generator = workload::buildWorkload(workloadSpec, context);
+            net.attachTraffic(*generator);
+        }
 
         const auto start = std::chrono::steady_clock::now();
         const std::uint64_t ev0 = net.kernel().executedEvents();
@@ -284,6 +304,7 @@ measureNetwork(const char *name, std::int32_t radix,
     j["num_vcs"] = Json(static_cast<std::int64_t>(numVcs));
     j["rate_pkts_per_node_cycle"] = Json(rate);
     j["link_power"] = Json(linkPower);
+    j["workload"] = Json(workloadSpec);
     j["cycles"] = Json(static_cast<std::uint64_t>(warmup + measure));
     j["events"] = Json(events);
     j["flits_ejected"] = Json(res.flitsEjected);
@@ -324,6 +345,10 @@ writeArtifact(const std::string &path, std::uint64_t seed,
     cfg["seed"] = Json(std::to_string(seed));
     cfg["threads"] = Json(std::to_string(threads));
     cfg["quick"] = Json(quick ? "1" : "0");
+    // Echoed only when set: the committed baseline and the plain smoke
+    // artifact must stay structurally identical (--schema diff).
+    if (!g_netFilter.empty())
+        cfg["net_filter"] = Json(g_netFilter);
     root["config"] = std::move(cfg);
 
     std::printf("timed pass (%s fidelity):\n", quick ? "quick" : "full");
@@ -366,6 +391,7 @@ writeArtifact(const std::string &path, std::uint64_t seed,
         std::int32_t numVcs;
         double rate;
         const char *linkPower = "table";
+        const char *workload = "uniform";
     };
     constexpr NetPoint kNetPoints[] = {
         {"network_8x8_history_uniform", 8, 1, 2, 0.01},
@@ -397,11 +423,22 @@ writeArtifact(const std::string &path, std::uint64_t seed,
         // (compare against network_8x8_history_saturated).
         {"network_8x8_history_saturated_toggle", 8, 1, 2, 0.07,
          "toggle"},
+        // The paper's Sec. 4.3 two-level task workload (exponential
+        // task arrivals driving banks of ON/OFF sources) through the
+        // workload factory: the generator's per-cycle bookkeeping is
+        // on the hot path for every figure bench, so the baseline
+        // guards it alongside the synthetic-pattern points.  Rate is
+        // network-wide packets/cycle for factory workloads.
+        {"network_8x8_history_twolevel", 8, 1, 2, 1.2, "table",
+         "two-level"},
     };
     for (const NetPoint &pt : kNetPoints) {
+        if (!g_netFilter.empty() &&
+            std::string(pt.name).find(g_netFilter) == std::string::npos)
+            continue;
         Json nw = measureNetwork(pt.name, pt.radix, pt.partitions,
                                  pt.numVcs, pt.rate, nwWarmup,
-                                 nwMeasure, pt.linkPower);
+                                 nwMeasure, pt.linkPower, pt.workload);
         std::printf("  %s: %.3g cycles/sec, %.3g events/sec, "
                     "%.3g flits/sec\n",
                     pt.name, nw.find("cycles_per_sec")->asDouble(),
@@ -459,6 +496,8 @@ main(int argc, char **argv)
             threads = std::strtoull(v, nullptr, 0);
         else if (const char *v = takeValue("--json"))
             jsonPath = v;
+        else if (const char *v = takeValue("--net-filter"))
+            g_netFilter = v;
         else if (std::strcmp(argv[i], "--quick") == 0)
             quick = true;
         else

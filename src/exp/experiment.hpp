@@ -31,6 +31,16 @@ namespace dvsnet::exp
  */
 std::uint64_t pointSeed(std::uint64_t baseSeed, std::uint64_t index);
 
+/**
+ * Seed for a point identified by a *name* rather than a position:
+ * pointSeed over an FNV-1a hash of `key`.  Used by drivers whose work
+ * set can grow or reorder between runs (the Pareto search derives each
+ * evaluation's seed from its candidate's canonical parameter JSON), so
+ * the seed — and therefore the result — depends only on what is being
+ * evaluated, never on when or where in the schedule it runs.
+ */
+std::uint64_t pointSeed(std::uint64_t baseSeed, const std::string &key);
+
 /** One unit of work: a fully specified measurement point. */
 struct PointJob
 {

@@ -38,6 +38,17 @@ pointSeed(std::uint64_t baseSeed, std::uint64_t index)
     return splitmix64(state);
 }
 
+std::uint64_t
+pointSeed(std::uint64_t baseSeed, const std::string &key)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a 64-bit
+    for (const unsigned char c : key) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    return pointSeed(baseSeed, h);
+}
+
 network::RunResults
 runPoint(const network::ExperimentSpec &spec, double injectionRate,
          std::uint64_t seed)

@@ -98,6 +98,50 @@ toJson(const RunResults &r)
     return j;
 }
 
+RunResults
+runResultsFromJson(const Json &j)
+{
+    if (!j.isObject())
+        throw ConfigError("RunResults echo must be a JSON object");
+    auto number = [&j](const char *key) -> double {
+        const Json *v = j.find(key);
+        if (!v || !v->isNumber()) {
+            throw ConfigError(detail::concat(
+                "RunResults echo missing numeric field '", key, "'"));
+        }
+        return v->asDouble();
+    };
+    auto count = [&j](const char *key) -> std::uint64_t {
+        const Json *v = j.find(key);
+        if (!v || !v->isNumber()) {
+            throw ConfigError(detail::concat(
+                "RunResults echo missing numeric field '", key, "'"));
+        }
+        return static_cast<std::uint64_t>(v->asInt());
+    };
+
+    RunResults r;
+    r.measuredCycles = static_cast<Cycle>(count("measured_cycles"));
+    r.packetsCreated = count("packets_created");
+    r.packetsDelivered = count("packets_delivered");
+    r.flitsEjected = count("flits_ejected");
+    r.offeredLoadPktsPerCycle = number("offered_load_pkts_per_cycle");
+    r.throughputPktsPerCycle = number("throughput_pkts_per_cycle");
+    r.throughputFlitsPerCycle = number("throughput_flits_per_cycle");
+    r.avgLatencyCycles = number("avg_latency_cycles");
+    r.maxLatencyCycles = number("max_latency_cycles");
+    r.avgPowerW = number("avg_power_w");
+    r.normalizedPower = number("normalized_power");
+    r.savingsFactor = number("savings_factor");
+    r.transitionEnergyJ = number("transition_energy_j");
+    r.totalEnergyJ = number("total_energy_j");
+    r.flitEnergyJ = number("flit_energy_j");
+    r.avgChannelLevel = number("avg_channel_level");
+    r.invariantChecks = count("invariant_checks");
+    r.invariantFailures = count("invariant_failures");
+    return r;
+}
+
 void
 MetricsCollector::beginWindow(Tick now)
 {

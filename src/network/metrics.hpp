@@ -54,6 +54,15 @@ struct RunResults
 /** Flat JSON object with every RunResults field (artifact schema v1). */
 Json toJson(const RunResults &results);
 
+/**
+ * Inverse of toJson(RunResults): rebuild a results object from its
+ * artifact echo.  The JSON writer's shortest-round-trip double format
+ * makes the pair lossless, so a journaled result re-read by the search
+ * cache is bit-identical to the original run.  @throws ConfigError on a
+ * missing or mis-typed field.
+ */
+RunResults runResultsFromJson(const Json &j);
+
 /** Collects packet lifecycle events. */
 class MetricsCollector
 {

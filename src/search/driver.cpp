@@ -1,0 +1,720 @@
+#include "search/driver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/fatal.hpp"
+#include "common/rng.hpp"
+#include "exp/runner.hpp"
+
+namespace dvsnet::search
+{
+
+namespace
+{
+
+/** Sampled parameters rounded so the canonical echo stays readable. */
+double
+round3(double value)
+{
+    return std::round(value * 1000.0) / 1000.0;
+}
+
+const Json &
+field(const Json &j, const char *key, const char *what)
+{
+    const Json *v = j.find(key);
+    if (!v) {
+        throw ConfigError(
+            detail::concat(what, " missing field '", key, "'"));
+    }
+    return *v;
+}
+
+} // namespace
+
+Json
+Candidate::toJson() const
+{
+    Json j = Json::object();
+    j["cooldown_windows"] = Json(static_cast<std::uint64_t>(cooldown));
+    j["freq_lock_cycles"] =
+        Json(static_cast<std::uint64_t>(freqLockCycles));
+    j["tl_high"] = Json(tlHigh);
+    j["tl_low"] = Json(tlLow);
+    j["weight"] = Json(weight);
+    return j;
+}
+
+Candidate
+Candidate::fromJson(const Json &j)
+{
+    if (!j.isObject())
+        throw ConfigError("candidate echo must be a JSON object");
+    Candidate c;
+    c.cooldown = static_cast<Cycle>(
+        field(j, "cooldown_windows", "candidate echo").asInt());
+    c.freqLockCycles = static_cast<Cycle>(
+        field(j, "freq_lock_cycles", "candidate echo").asInt());
+    c.tlHigh = field(j, "tl_high", "candidate echo").asDouble();
+    c.tlLow = field(j, "tl_low", "candidate echo").asDouble();
+    c.weight = field(j, "weight", "candidate echo").asDouble();
+    return c;
+}
+
+std::vector<std::string>
+SearchConfig::validate() const
+{
+    std::vector<std::string> problems;
+    for (const auto &p : base.validate())
+        problems.push_back("base experiment: " + p);
+
+    if (!(injectionRate > 0.0) || !std::isfinite(injectionRate))
+        problems.push_back("injection rate must be positive and finite");
+    if (seeded.empty() && randomCandidates == 0)
+        problems.push_back("candidate set is empty (no seeded or "
+                           "random candidates)");
+    if (rungs.empty())
+        problems.push_back("fidelity ladder is empty (need >= 1 rung)");
+
+    for (std::size_t i = 0; i < rungs.size(); ++i) {
+        const auto &rung = rungs[i];
+        if (rung.measure == 0) {
+            problems.push_back(detail::concat(
+                "rung ", i, ": measurement window must be positive"));
+        }
+        if (!(rung.slackFraction >= 0.0) ||
+            !std::isfinite(rung.slackFraction)) {
+            problems.push_back(detail::concat(
+                "rung ", i,
+                ": slack fraction must be non-negative and finite"));
+        }
+        if (rung.slackLatency < 0.0 || rung.slackPower < 0.0) {
+            problems.push_back(detail::concat(
+                "rung ", i, ": absolute slacks must be non-negative"));
+        }
+    }
+
+    for (std::size_t i = 0; i < seeded.size(); ++i) {
+        const auto &c = seeded[i];
+        if (!(c.tlLow > 0.0) || !(c.tlHigh > c.tlLow)) {
+            problems.push_back(detail::concat(
+                "seeded candidate ", i,
+                ": need 0 < tl_low < tl_high, got [", c.tlLow, ", ",
+                c.tlHigh, "]"));
+        }
+        if (!(c.weight > 0.0)) {
+            problems.push_back(detail::concat("seeded candidate ", i,
+                                              ": weight must be > 0"));
+        }
+    }
+
+    if (randomCandidates > 0) {
+        if (!(tlLowMin > 0.0) || tlLowMin > tlLowMax)
+            problems.push_back("need 0 < tl_low_min <= tl_low_max");
+        if (tlGapMin < 0.0 || tlGapMin > tlGapMax)
+            problems.push_back("need 0 <= tl_gap_min <= tl_gap_max");
+        if (!(weightMin > 0.0) || weightMin > weightMax)
+            problems.push_back("need 0 < weight_min <= weight_max");
+        if (freqLockMin > freqLockMax)
+            problems.push_back("need freq_lock_min <= freq_lock_max");
+    }
+    return problems;
+}
+
+Json
+SearchConfig::toJson() const
+{
+    // Deliberately excludes journalPath / warmJournals / threads: the
+    // echo names what determines the *results*, so a resumed or re-
+    // threaded run writes a byte-identical journal header.
+    Json bounds = Json::object();
+    bounds["cooldown_max"] = Json(static_cast<std::uint64_t>(cooldownMax));
+    bounds["freq_lock_max"] =
+        Json(static_cast<std::uint64_t>(freqLockMax));
+    bounds["freq_lock_min"] =
+        Json(static_cast<std::uint64_t>(freqLockMin));
+    bounds["tl_gap_max"] = Json(tlGapMax);
+    bounds["tl_gap_min"] = Json(tlGapMin);
+    bounds["tl_low_max"] = Json(tlLowMax);
+    bounds["tl_low_min"] = Json(tlLowMin);
+    bounds["weight_max"] = Json(weightMax);
+    bounds["weight_min"] = Json(weightMin);
+
+    Json ladder = Json::array();
+    for (const auto &rung : rungs) {
+        Json r = Json::object();
+        r["warmup_cycles"] = Json(static_cast<std::uint64_t>(rung.warmup));
+        r["measure_cycles"] =
+            Json(static_cast<std::uint64_t>(rung.measure));
+        r["slack_latency"] = Json(rung.slackLatency);
+        r["slack_power"] = Json(rung.slackPower);
+        r["slack_fraction"] = Json(rung.slackFraction);
+        ladder.push(r);
+    }
+
+    Json seededEcho = Json::array();
+    for (const auto &c : seeded)
+        seededEcho.push(c.toJson());
+
+    Json j = Json::object();
+    j["base"] = network::toJson(base);
+    j["bounds"] = bounds;
+    j["injection_rate"] = Json(injectionRate);
+    j["max_network_evals"] =
+        Json(static_cast<std::uint64_t>(maxNetworkEvals));
+    j["random_candidates"] =
+        Json(static_cast<std::uint64_t>(randomCandidates));
+    j["rungs"] = ladder;
+    j["seed"] = Json(std::to_string(seed));
+    j["seeded"] = seededEcho;
+    return j;
+}
+
+std::vector<Candidate>
+SearchDriver::candidateSet(const SearchConfig &config)
+{
+    std::vector<Candidate> out = config.seeded;
+
+    // The sampling stream depends only on the master seed, so the
+    // candidate set is a pure function of the config — resumed and
+    // re-sharded runs regenerate the identical set.
+    Rng rng(exp::pointSeed(config.seed, std::string("candidate-set")));
+    for (std::size_t i = 0; i < config.randomCandidates; ++i) {
+        Candidate c;
+        c.tlLow = round3(rng.uniform(config.tlLowMin, config.tlLowMax));
+        c.tlHigh = round3(
+            c.tlLow + rng.uniform(config.tlGapMin, config.tlGapMax));
+        c.weight =
+            round3(rng.uniform(config.weightMin, config.weightMax));
+        c.cooldown = rng.uniformInt(
+            static_cast<std::uint64_t>(config.cooldownMax) + 1);
+        c.freqLockCycles =
+            config.freqLockMin +
+            rng.uniformInt(static_cast<std::uint64_t>(
+                               config.freqLockMax - config.freqLockMin) +
+                           1);
+        out.push_back(c);
+    }
+
+    // Drop exact repeats (a sample landing on a seeded point would
+    // journal the same key twice); first occurrence wins.
+    std::vector<Candidate> unique;
+    std::vector<std::string> seen;
+    unique.reserve(out.size());
+    for (const auto &c : out) {
+        const std::string echo = canonicalJson(c.toJson()).dump();
+        if (std::find(seen.begin(), seen.end(), echo) != seen.end())
+            continue;
+        seen.push_back(echo);
+        unique.push_back(c);
+    }
+    return unique;
+}
+
+SearchDriver::SearchDriver(SearchConfig config, CounterRegistry *registry)
+    : config_(std::move(config)),
+      registry_(registry ? registry : &ownRegistry_)
+{
+    const auto problems = config_.validate();
+    if (!problems.empty())
+        throw ConfigError(joinProblems("invalid search config", problems));
+}
+
+void
+SearchDriver::setEvaluator(Evaluator evaluator)
+{
+    evaluator_ = std::move(evaluator);
+}
+
+network::ExperimentSpec
+SearchDriver::specFor(const Candidate &candidate,
+                      const RungSpec &rung) const
+{
+    network::ExperimentSpec spec = config_.base;
+    spec.network.policy = network::PolicyKind::History;
+    spec.network.policyParams.tlLow = candidate.tlLow;
+    spec.network.policyParams.tlHigh = candidate.tlHigh;
+    spec.network.policyParams.weight = candidate.weight;
+    spec.network.policyCooldown = candidate.cooldown;
+    spec.network.link.freqTransitionLinkCycles = candidate.freqLockCycles;
+    spec.warmup = rung.warmup;
+    spec.measure = rung.measure;
+    return spec;
+}
+
+std::uint64_t
+SearchDriver::seedFor(const Candidate &candidate, std::size_t rung) const
+{
+    // Keyed by what is evaluated (parameters + fidelity windows), never
+    // by schedule position: any evaluator of the same candidate at the
+    // same fidelity — this search, a resumed one, or the grid baseline —
+    // derives the same seed and therefore the same bits.
+    const RungSpec &r = config_.rungs.at(rung);
+    const std::string key = canonicalJson(candidate.toJson()).dump() +
+                            "|warmup=" + std::to_string(r.warmup) +
+                            "|measure=" + std::to_string(r.measure);
+    return exp::pointSeed(config_.seed, key);
+}
+
+EvalRecord
+SearchDriver::evaluateOne(const Candidate &candidate, std::size_t rung)
+{
+    const RungSpec &r = config_.rungs.at(rung);
+    const network::ExperimentSpec spec = specFor(candidate, r);
+    const std::uint64_t seed = seedFor(candidate, rung);
+    const std::string key = evalKey(spec, config_.injectionRate, seed);
+
+    if (const EvalRecord *hit = cache_.find(key)) {
+        ++registry_->counter("search.cache_hits");
+        return *hit;
+    }
+
+    EvalRecord record;
+    record.key = key;
+    record.rung = rung;
+    record.seed = seed;
+    record.rate = config_.injectionRate;
+    record.warmup = r.warmup;
+    record.measure = r.measure;
+    record.params = candidate.toJson();
+    record.results =
+        evaluator_
+            ? evaluator_(spec, config_.injectionRate, seed)
+            : exp::runPoint(spec, config_.injectionRate, seed);
+    ++registry_->counter("search.network_evals");
+    if (rung + 1 == config_.rungs.size())
+        ++registry_->counter("search.network_evals_full");
+    cache_.insert(record);
+    return record;
+}
+
+EvalRecord
+SearchDriver::evaluateFull(const Candidate &candidate)
+{
+    return evaluateOne(candidate, config_.rungs.size() - 1);
+}
+
+std::optional<std::vector<EvalRecord>>
+SearchDriver::evaluateRung(const std::vector<Candidate> &candidates,
+                           const std::vector<std::size_t> &survivors,
+                           std::size_t rung)
+{
+    const RungSpec &r = config_.rungs.at(rung);
+    const bool fullRung = rung + 1 == config_.rungs.size();
+
+    // Pass 1: resolve keys, split hits from misses (candidate order).
+    struct Slot
+    {
+        std::size_t candidate;
+        std::string key;
+        std::uint64_t seed;
+        bool cached;
+    };
+    std::vector<Slot> slots;
+    std::vector<std::size_t> missSlots;
+    slots.reserve(survivors.size());
+    for (const std::size_t idx : survivors) {
+        Slot slot;
+        slot.candidate = idx;
+        slot.seed = seedFor(candidates[idx], rung);
+        slot.key = evalKey(specFor(candidates[idx], r),
+                           config_.injectionRate, slot.seed);
+        slot.cached = cache_.find(slot.key) != nullptr;
+        if (!slot.cached)
+            missSlots.push_back(slots.size());
+        slots.push_back(std::move(slot));
+    }
+
+    // Budget gate: a rung either runs whole or not at all, so the
+    // journal always ends at a rung boundary (the resume contract).
+    if (config_.maxNetworkEvals != 0) {
+        const std::uint64_t spent =
+            registry_->counterValue("search.network_evals");
+        if (spent + missSlots.size() > config_.maxNetworkEvals)
+            return std::nullopt;
+    }
+
+    // Pass 2: run the misses — in parallel through the runner for real
+    // network evaluations, serially for injected test evaluators.
+    std::vector<EvalRecord> missRecords(missSlots.size());
+    if (evaluator_) {
+        for (std::size_t m = 0; m < missSlots.size(); ++m) {
+            const Slot &slot = slots[missSlots[m]];
+            EvalRecord rec;
+            rec.results = evaluator_(specFor(candidates[slot.candidate], r),
+                                     config_.injectionRate, slot.seed);
+            missRecords[m] = std::move(rec);
+        }
+    } else if (!missSlots.empty()) {
+        exp::RunnerOptions options;
+        options.threads = config_.threads;
+        exp::ExperimentRunner runner(std::move(options));
+        for (const std::size_t s : missSlots) {
+            exp::PointJob job;
+            job.spec = specFor(candidates[slots[s].candidate], r);
+            job.injectionRate = config_.injectionRate;
+            job.seed = slots[s].seed;
+            runner.submit(std::move(job));
+        }
+        auto results = runner.collect();
+        for (std::size_t m = 0; m < results.size(); ++m) {
+            if (!results[m].ok) {
+                throw ConfigError(detail::concat(
+                    "search evaluation failed (rung ", rung,
+                    ", candidate ", slots[missSlots[m]].candidate,
+                    "): ", results[m].error));
+            }
+            missRecords[m].results = results[m].results;
+        }
+    }
+
+    // Pass 3: assemble records in candidate order, cache the misses.
+    std::vector<EvalRecord> records;
+    records.reserve(slots.size());
+    std::size_t nextMiss = 0;
+    for (const Slot &slot : slots) {
+        if (slot.cached) {
+            ++registry_->counter("search.cache_hits");
+            records.push_back(*cache_.find(slot.key));
+            continue;
+        }
+        EvalRecord rec = std::move(missRecords[nextMiss++]);
+        rec.key = slot.key;
+        rec.rung = rung;
+        rec.seed = slot.seed;
+        rec.rate = config_.injectionRate;
+        rec.warmup = r.warmup;
+        rec.measure = r.measure;
+        rec.params = candidates[slot.candidate].toJson();
+        ++registry_->counter("search.network_evals");
+        if (fullRung)
+            ++registry_->counter("search.network_evals_full");
+        cache_.insert(rec);
+        records.push_back(std::move(rec));
+    }
+    return records;
+}
+
+std::vector<std::size_t>
+SearchDriver::cull(const std::vector<std::size_t> &survivors,
+                   const std::vector<EvalRecord> &records,
+                   const RungSpec &rung)
+{
+    // Derive absolute slacks: explicit value wins, otherwise a fraction
+    // of this rung's observed objective spread.
+    std::vector<double> slack = {rung.slackLatency, rung.slackPower};
+    for (std::size_t k = 0; k < slack.size(); ++k) {
+        if (slack[k] > 0.0)
+            continue;
+        double lo = records.front().objectives()[k];
+        double hi = lo;
+        for (const auto &rec : records) {
+            lo = std::min(lo, rec.objectives()[k]);
+            hi = std::max(hi, rec.objectives()[k]);
+        }
+        slack[k] = rung.slackFraction * (hi - lo);
+    }
+
+    // Terminate candidate i only when some j dominates it with a 2*slack
+    // margin in EVERY objective: if each rung objective sits within
+    // slack of its full-fidelity value, then at full fidelity j is still
+    // <= i everywhere — a culled candidate can never be a true Pareto
+    // point (see the file comment in driver.hpp).  Equal-vector pairs at
+    // zero slack keep the earlier candidate.
+    std::vector<std::size_t> kept;
+    for (std::size_t i = 0; i < survivors.size(); ++i) {
+        const auto objI = records[i].objectives();
+        bool culled = false;
+        for (std::size_t j = 0; j < survivors.size() && !culled; ++j) {
+            if (j == i)
+                continue;
+            const auto objJ = records[j].objectives();
+            bool margin = true;
+            for (std::size_t k = 0; k < objI.size() && margin; ++k)
+                margin = objJ[k] + 2.0 * slack[k] <= objI[k];
+            if (margin && (objJ != objI || j < i))
+                culled = true;
+        }
+        if (culled)
+            ++registry_->counter("search.culled");
+        else
+            kept.push_back(survivors[i]);
+    }
+    return kept;
+}
+
+SearchOutcome
+SearchDriver::run()
+{
+    SearchOutcome outcome;
+    outcome.candidates = candidateSet(config_);
+    registry_->counter("search.candidates") = outcome.candidates.size();
+
+    if (!warmed_) {
+        std::size_t loaded = 0;
+        for (const auto &path : config_.warmJournals)
+            loaded += cache_.load(path);
+        registry_->counter("search.warm_records") += loaded;
+        warmed_ = true;
+    }
+
+    std::optional<JournalWriter> writer;
+    if (!config_.journalPath.empty())
+        writer.emplace(config_.journalPath, config_.toJson());
+
+    std::vector<std::size_t> survivors(outcome.candidates.size());
+    for (std::size_t i = 0; i < survivors.size(); ++i)
+        survivors[i] = i;
+
+    for (std::size_t rung = 0; rung < config_.rungs.size(); ++rung) {
+        auto records = evaluateRung(outcome.candidates, survivors, rung);
+        if (!records) {
+            // Evaluation budget exhausted: stop at the rung boundary.
+            outcome.completed = false;
+            break;
+        }
+
+        for (const auto &rec : *records) {
+            if (writer)
+                writer->append(rec);
+            outcome.journal.push_back(rec);
+        }
+
+        if (rung + 1 == config_.rungs.size()) {
+            outcome.finalSurvivors = survivors;
+            for (const auto &rec : *records) {
+                Json payload = Json::object();
+                payload["params"] = rec.params;
+                payload["results"] = network::toJson(rec.results);
+                outcome.front.insert(
+                    FrontPoint{rec.objectives(), rec.key,
+                               std::move(payload)});
+            }
+            outcome.completed = true;
+        } else {
+            survivors = cull(survivors, *records,
+                             config_.rungs.at(rung));
+        }
+    }
+
+    outcome.networkEvals =
+        registry_->counterValue("search.network_evals");
+    outcome.networkEvalsFull =
+        registry_->counterValue("search.network_evals_full");
+    outcome.cacheHits = registry_->counterValue("search.cache_hits");
+    outcome.culled = registry_->counterValue("search.culled");
+    return outcome;
+}
+
+SearchSpec
+SearchSpec::parse(const std::string &text)
+{
+    SearchSpec spec;
+    const std::size_t colon = text.find(':');
+    spec.name = text.substr(0, colon);
+    if (spec.name.empty())
+        throw ConfigError("search spec: empty strategy name");
+
+    if (colon == std::string::npos)
+        return spec;
+    std::size_t pos = colon + 1;
+    while (pos <= text.size()) {
+        std::size_t comma = text.find(',', pos);
+        if (comma == std::string::npos)
+            comma = text.size();
+        const std::string item = text.substr(pos, comma - pos);
+        const std::size_t eq = item.find('=');
+        if (item.empty() || eq == std::string::npos || eq == 0) {
+            throw ConfigError(detail::concat(
+                "search spec '", text, "': expected key=value, got '",
+                item, "'"));
+        }
+        spec.params.emplace_back(item.substr(0, eq), item.substr(eq + 1));
+        pos = comma + 1;
+    }
+    return spec;
+}
+
+std::string
+SearchSpec::toString() const
+{
+    std::string out = name;
+    for (std::size_t i = 0; i < params.size(); ++i) {
+        out += i == 0 ? ':' : ',';
+        out += params[i].first;
+        out += '=';
+        out += params[i].second;
+    }
+    return out;
+}
+
+const std::string *
+SearchSpec::find(const std::string &key) const
+{
+    for (const auto &[k, v] : params) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+namespace
+{
+
+constexpr const char *kStrategyName = "successive-halving";
+
+/** Accepted successive-halving keys, sorted for error messages. */
+const std::vector<std::string> &
+strategyKeys()
+{
+    static const std::vector<std::string> keys = {
+        "budget", "candidates", "rungs", "slack", "step"};
+    return keys;
+}
+
+std::string
+joinList(const std::vector<std::string> &items)
+{
+    std::string out;
+    for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i != 0)
+            out += ", ";
+        out += items[i];
+    }
+    return out;
+}
+
+std::uint64_t
+parseCount(const SearchSpec &spec, const std::string &key,
+           const std::string &value)
+{
+    try {
+        std::size_t used = 0;
+        const unsigned long long parsed = std::stoull(value, &used);
+        if (used == value.size())
+            return parsed;
+    } catch (const std::exception &) {
+    }
+    throw ConfigError(detail::concat("search spec '", spec.toString(),
+                                     "': key '", key,
+                                     "' needs a non-negative integer, "
+                                     "got '",
+                                     value, "'"));
+}
+
+double
+parseNumber(const SearchSpec &spec, const std::string &key,
+            const std::string &value)
+{
+    try {
+        std::size_t used = 0;
+        const double parsed = std::stod(value, &used);
+        if (used == value.size() && std::isfinite(parsed))
+            return parsed;
+    } catch (const std::exception &) {
+    }
+    throw ConfigError(detail::concat("search spec '", spec.toString(),
+                                     "': key '", key,
+                                     "' needs a finite number, got '",
+                                     value, "'"));
+}
+
+} // namespace
+
+std::vector<std::string>
+validateSearchSpec(const std::string &text)
+{
+    SearchSpec spec;
+    try {
+        spec = SearchSpec::parse(text);
+    } catch (const ConfigError &e) {
+        return {e.what()};
+    }
+
+    std::vector<std::string> problems;
+    if (spec.name != kStrategyName) {
+        problems.push_back(detail::concat(
+            "unknown search strategy '", spec.name,
+            "' (registered: ", kStrategyName, ")"));
+        return problems;
+    }
+    for (const auto &[key, value] : spec.params) {
+        (void)value;
+        const auto &keys = strategyKeys();
+        if (std::find(keys.begin(), keys.end(), key) == keys.end()) {
+            problems.push_back(detail::concat(
+                "search spec '", spec.name, "': unknown key '", key,
+                "' (valid: ", joinList(keys), ")"));
+        }
+    }
+    return problems;
+}
+
+void
+applySearchSpec(SearchConfig &config, const SearchSpec &spec)
+{
+    const auto problems = validateSearchSpec(spec.toString());
+    if (!problems.empty())
+        throw ConfigError(joinProblems("invalid search spec", problems));
+
+    if (const std::string *v = spec.find("candidates"))
+        config.randomCandidates = parseCount(spec, "candidates", *v);
+    if (const std::string *v = spec.find("budget"))
+        config.maxNetworkEvals = parseCount(spec, "budget", *v);
+
+    std::size_t numRungs = 3;
+    if (const std::string *v = spec.find("rungs")) {
+        numRungs = parseCount(spec, "rungs", *v);
+        if (numRungs == 0) {
+            throw ConfigError(detail::concat(
+                "search spec '", spec.toString(),
+                "': key 'rungs' must be >= 1"));
+        }
+    }
+    double step = 5.0;
+    if (const std::string *v = spec.find("step")) {
+        step = parseNumber(spec, "step", *v);
+        if (!(step > 1.0)) {
+            throw ConfigError(detail::concat(
+                "search spec '", spec.toString(),
+                "': key 'step' must be > 1"));
+        }
+    }
+    double slack = 0.15;
+    if (const std::string *v = spec.find("slack")) {
+        slack = parseNumber(spec, "slack", *v);
+        if (slack < 0.0) {
+            throw ConfigError(detail::concat(
+                "search spec '", spec.toString(),
+                "': key 'slack' must be >= 0"));
+        }
+    }
+
+    // Geometric fidelity ladder ending exactly at the base windows:
+    // rung k measures 1/step^(K-1-k) of the full window, floored so
+    // even aggressive ladders keep a meaningful measurement.  Warm-up
+    // stays at the full value on every rung: it absorbs the DVS level
+    // transient (~110k cycles in the paper setup), so truncating it
+    // would change *what* is measured — the slack model only licenses
+    // culling when a rung measures the same steady state with less
+    // averaging.
+    config.rungs.clear();
+    for (std::size_t k = 0; k < numRungs; ++k) {
+        const double factor =
+            std::pow(step, static_cast<double>(numRungs - 1 - k));
+        RungSpec rung;
+        rung.warmup = config.base.warmup;
+        rung.measure = std::max<Cycle>(
+            static_cast<Cycle>(
+                static_cast<double>(config.base.measure) / factor),
+            1000);
+        rung.slackFraction = slack;
+        if (k + 1 == numRungs)
+            rung.measure = config.base.measure;
+        config.rungs.push_back(rung);
+    }
+}
+
+} // namespace dvsnet::search

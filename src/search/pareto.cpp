@@ -1,0 +1,157 @@
+#include "search/pareto.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/fatal.hpp"
+
+namespace dvsnet::search
+{
+
+bool
+dominates(const std::vector<double> &a, const std::vector<double> &b)
+{
+    DVSNET_ASSERT(a.size() == b.size(),
+                  "dominance needs equal objective arity");
+    bool strict = false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i] > b[i])
+            return false;
+        if (a[i] < b[i])
+            strict = true;
+    }
+    return strict;
+}
+
+namespace
+{
+
+/** The front's deterministic order: objectives lex, then id. */
+bool
+pointLess(const FrontPoint &a, const FrontPoint &b)
+{
+    if (a.objectives != b.objectives)
+        return a.objectives < b.objectives;
+    return a.id < b.id;
+}
+
+} // namespace
+
+ParetoFront::ParetoFront(std::size_t numObjectives)
+    : numObjectives_(numObjectives)
+{
+    if (numObjectives_ < 1)
+        throw ConfigError("ParetoFront needs at least one objective");
+}
+
+InsertOutcome
+ParetoFront::insert(FrontPoint point)
+{
+    if (point.objectives.size() != numObjectives_) {
+        throw ConfigError(detail::concat(
+            "ParetoFront: point '", point.id, "' carries ",
+            point.objectives.size(), " objectives, front expects ",
+            numObjectives_));
+    }
+    for (const double v : point.objectives) {
+        if (!std::isfinite(v)) {
+            throw ConfigError(detail::concat(
+                "ParetoFront: point '", point.id,
+                "' has a non-finite objective"));
+        }
+    }
+
+    for (const FrontPoint &existing : points_) {
+        if (dominates(existing.objectives, point.objectives))
+            return InsertOutcome::Dominated;
+        if (existing.objectives == point.objectives) {
+            // Equal vectors never dominate each other; the tie breaks
+            // toward the smaller id so the final set is insertion-order
+            // invariant.
+            if (existing.id <= point.id)
+                return InsertOutcome::DuplicateRejected;
+            break;  // the newcomer wins; evict below
+        }
+    }
+
+    points_.erase(
+        std::remove_if(points_.begin(), points_.end(),
+                       [&point](const FrontPoint &existing) {
+                           return dominates(point.objectives,
+                                            existing.objectives) ||
+                                  (existing.objectives ==
+                                       point.objectives &&
+                                   point.id < existing.id);
+                       }),
+        points_.end());
+    points_.insert(std::upper_bound(points_.begin(), points_.end(), point,
+                                    pointLess),
+                   std::move(point));
+    return InsertOutcome::Added;
+}
+
+bool
+ParetoFront::covers(const std::vector<double> &objectives,
+                    double tolerance) const
+{
+    DVSNET_ASSERT(objectives.size() == numObjectives_,
+                  "covers() needs matching objective arity");
+    for (const FrontPoint &p : points_) {
+        bool weaklyBetter = true;
+        for (std::size_t i = 0; i < numObjectives_; ++i) {
+            if (p.objectives[i] > objectives[i] + tolerance) {
+                weaklyBetter = false;
+                break;
+            }
+        }
+        if (weaklyBetter)
+            return true;
+    }
+    return false;
+}
+
+double
+ParetoFront::hypervolume2d(double ref0, double ref1) const
+{
+    if (numObjectives_ != 2) {
+        throw ConfigError(detail::concat(
+            "hypervolume2d requires exactly 2 objectives (front has ",
+            numObjectives_, ")"));
+    }
+    // points_ is sorted ascending in objective 0; along it, surviving
+    // points descend in objective 1, so the dominated region is a
+    // staircase whose area sums per column.
+    double area = 0.0;
+    double prevObj1 = ref1;
+    for (const FrontPoint &p : points_) {
+        const double o0 = p.objectives[0];
+        const double o1 = p.objectives[1];
+        if (o0 >= ref0)
+            break;  // sorted: every later point is also outside
+        if (o1 >= prevObj1)
+            continue;  // dominated column (duplicate obj0, worse obj1)
+        area += (ref0 - o0) * (prevObj1 - o1);
+        prevObj1 = o1;
+    }
+    return area;
+}
+
+Json
+ParetoFront::toJson() const
+{
+    Json arr = Json::array();
+    for (const FrontPoint &p : points_) {
+        Json j = Json::object();
+        Json objectives = Json::array();
+        for (const double v : p.objectives)
+            objectives.push(Json(v));
+        j["objectives"] = std::move(objectives);
+        j["id"] = Json(p.id);
+        if (!p.payload.isNull())
+            j["payload"] = p.payload;
+        arr.push(std::move(j));
+    }
+    return arr;
+}
+
+} // namespace dvsnet::search

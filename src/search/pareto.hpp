@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Pareto-frontier container for multi-objective search.
+ *
+ * All objectives are minimized.  A point strictly dominates another when
+ * it is no worse in every objective and strictly better in at least one;
+ * the front keeps exactly the non-dominated set.  Points with *equal*
+ * objective vectors are duplicates for the front's purposes: only the one
+ * with the lexicographically smallest id survives, so the final set is a
+ * pure function of the inserted points — independent of insertion order —
+ * which is what lets a resumed or re-sharded search reproduce a cold
+ * run's front bit-identically (tests/test_pareto_front.cpp pins this
+ * against a naive O(n^2) reference filter).
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace dvsnet::search
+{
+
+/** One candidate outcome: objective vector + identity + echo payload. */
+struct FrontPoint
+{
+    /** Objective values, all minimized (e.g. {avg latency, avg power}). */
+    std::vector<double> objectives;
+
+    /**
+     * Stable unique identity (the evaluation's cache key).  Ties between
+     * equal objective vectors break toward the smallest id.
+     */
+    std::string id;
+
+    /** Arbitrary echo (candidate parameters, results) carried along. */
+    Json payload;
+};
+
+/** `a` no worse everywhere and strictly better somewhere (minimize). */
+bool dominates(const std::vector<double> &a, const std::vector<double> &b);
+
+/** Outcome of one insertion attempt. */
+enum class InsertOutcome
+{
+    Added,              ///< entered the front (may have evicted others)
+    Dominated,          ///< strictly dominated by an existing point
+    DuplicateRejected,  ///< equal objectives, larger-or-equal id
+};
+
+/** The non-dominated set (see file comment). */
+class ParetoFront
+{
+  public:
+    /** @param numObjectives arity every inserted point must match */
+    explicit ParetoFront(std::size_t numObjectives);
+
+    std::size_t numObjectives() const { return numObjectives_; }
+
+    /**
+     * Offer a point.  Dominated points already in the front are evicted;
+     * an equal-objective duplicate keeps only the smaller id (evicting
+     * the larger one when the newcomer wins).  @throws ConfigError on an
+     * arity mismatch or a non-finite objective.
+     */
+    InsertOutcome insert(FrontPoint point);
+
+    /**
+     * Current front, sorted by (objectives lexicographically, id) — a
+     * deterministic order for artifacts and journal comparison.
+     */
+    const std::vector<FrontPoint> &points() const { return points_; }
+
+    std::size_t size() const { return points_.size(); }
+    bool empty() const { return points_.empty(); }
+
+    /**
+     * True when `objectives` would be weakly covered by the front: some
+     * front point is <= it in every objective after adding `tolerance`
+     * to each front value (tolerance 0 = exact weak dominance).
+     */
+    bool covers(const std::vector<double> &objectives,
+                double tolerance = 0.0) const;
+
+    /**
+     * Two-objective hypervolume against reference point (ref0, ref1):
+     * the area weakly dominated by the front inside the box it spans
+     * with the reference corner.  Points outside the box (objective >=
+     * its reference coordinate) contribute nothing.  @throws ConfigError
+     * unless numObjectives() == 2.
+     */
+    double hypervolume2d(double ref0, double ref1) const;
+
+    /** Array of {"objectives": [...], "id": ..., "payload": ...}. */
+    Json toJson() const;
+
+  private:
+    std::size_t numObjectives_;
+    std::vector<FrontPoint> points_;  ///< kept sorted (objectives, id)
+};
+
+} // namespace dvsnet::search

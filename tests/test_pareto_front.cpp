@@ -1,0 +1,222 @@
+/**
+ * @file
+ * ParetoFront tests: the container is pinned against a naive O(n^2)
+ * reference dominance filter on randomized point sets, and its
+ * order-independence / duplicate / tie-break contracts are exercised
+ * directly — the properties the search driver's resume story leans on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/fatal.hpp"
+#include "common/rng.hpp"
+#include "search/pareto.hpp"
+
+using dvsnet::ConfigError;
+using dvsnet::Rng;
+using dvsnet::shuffle;
+using dvsnet::search::dominates;
+using dvsnet::search::FrontPoint;
+using dvsnet::search::InsertOutcome;
+using dvsnet::search::ParetoFront;
+
+namespace
+{
+
+/**
+ * Reference filter: keep point i unless some j strictly dominates it,
+ * or j has equal objectives and a smaller id (duplicate resolution).
+ * Quadratic and obviously correct — the oracle the container must match.
+ */
+std::vector<FrontPoint>
+referenceFront(const std::vector<FrontPoint> &points)
+{
+    std::vector<FrontPoint> kept;
+    for (const auto &p : points) {
+        bool dead = false;
+        for (const auto &q : points) {
+            if (&q == &p)
+                continue;
+            if (dominates(q.objectives, p.objectives) ||
+                (q.objectives == p.objectives && q.id < p.id)) {
+                dead = true;
+                break;
+            }
+        }
+        if (!dead)
+            kept.push_back(p);
+    }
+    std::sort(kept.begin(), kept.end(),
+              [](const FrontPoint &a, const FrontPoint &b) {
+                  if (a.objectives != b.objectives)
+                      return a.objectives < b.objectives;
+                  return a.id < b.id;
+              });
+    return kept;
+}
+
+void
+expectSameFront(const std::vector<FrontPoint> &got,
+                const std::vector<FrontPoint> &want)
+{
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].objectives, want[i].objectives) << "point " << i;
+        EXPECT_EQ(got[i].id, want[i].id) << "point " << i;
+    }
+}
+
+/** Random point cloud on a small integer lattice (forces ties and
+ *  duplicates to actually occur). */
+std::vector<FrontPoint>
+randomPoints(Rng &rng, std::size_t count, std::size_t arity)
+{
+    std::vector<FrontPoint> points;
+    points.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        FrontPoint p;
+        for (std::size_t k = 0; k < arity; ++k)
+            p.objectives.push_back(
+                static_cast<double>(rng.uniformInt(std::uint64_t{6})));
+        p.id = "p" + std::to_string(i);
+        points.push_back(std::move(p));
+    }
+    return points;
+}
+
+} // namespace
+
+TEST(Dominates, StrictDominanceDefinition)
+{
+    EXPECT_TRUE(dominates({1.0, 2.0}, {2.0, 2.0}));
+    EXPECT_TRUE(dominates({1.0, 2.0}, {1.0, 3.0}));
+    EXPECT_FALSE(dominates({1.0, 2.0}, {1.0, 2.0}));  // equal: no
+    EXPECT_FALSE(dominates({1.0, 3.0}, {2.0, 2.0}));  // incomparable
+    EXPECT_FALSE(dominates({2.0, 2.0}, {1.0, 2.0}));
+}
+
+TEST(ParetoFront, RejectsBadPoints)
+{
+    EXPECT_THROW(ParetoFront(0), ConfigError);
+
+    ParetoFront front(2);
+    EXPECT_THROW(front.insert(FrontPoint{{1.0}, "short", {}}),
+                 ConfigError);
+    EXPECT_THROW(front.insert(FrontPoint{{1.0, 2.0, 3.0}, "long", {}}),
+                 ConfigError);
+    const double nan = std::nan("");
+    EXPECT_THROW(front.insert(FrontPoint{{1.0, nan}, "nan", {}}),
+                 ConfigError);
+}
+
+TEST(ParetoFront, InsertOutcomes)
+{
+    ParetoFront front(2);
+    EXPECT_EQ(front.insert({{2.0, 2.0}, "a", {}}), InsertOutcome::Added);
+    EXPECT_EQ(front.insert({{3.0, 3.0}, "b", {}}),
+              InsertOutcome::Dominated);
+    EXPECT_EQ(front.insert({{1.0, 3.0}, "c", {}}), InsertOutcome::Added);
+    EXPECT_EQ(front.size(), 2u);
+
+    // Dominates both: evicts them.
+    EXPECT_EQ(front.insert({{1.0, 1.0}, "d", {}}), InsertOutcome::Added);
+    ASSERT_EQ(front.size(), 1u);
+    EXPECT_EQ(front.points()[0].id, "d");
+}
+
+TEST(ParetoFront, DuplicateKeepsSmallestId)
+{
+    ParetoFront front(2);
+    EXPECT_EQ(front.insert({{1.0, 1.0}, "m", {}}), InsertOutcome::Added);
+    EXPECT_EQ(front.insert({{1.0, 1.0}, "z", {}}),
+              InsertOutcome::DuplicateRejected);
+    EXPECT_EQ(front.insert({{1.0, 1.0}, "m", {}}),
+              InsertOutcome::DuplicateRejected);  // equal id: rejected too
+    EXPECT_EQ(front.insert({{1.0, 1.0}, "a", {}}), InsertOutcome::Added);
+    ASSERT_EQ(front.size(), 1u);
+    EXPECT_EQ(front.points()[0].id, "a");
+}
+
+TEST(ParetoFront, MatchesReferenceFilterRandomized)
+{
+    Rng rng(0xf00dull);
+    for (int trial = 0; trial < 200; ++trial) {
+        const std::size_t arity = 2 + rng.uniformInt(std::uint64_t{2});
+        const std::size_t count = 1 + rng.uniformInt(std::uint64_t{40});
+        const auto points = randomPoints(rng, count, arity);
+
+        ParetoFront front(arity);
+        for (const auto &p : points)
+            front.insert(p);
+        expectSameFront(front.points(), referenceFront(points));
+    }
+}
+
+TEST(ParetoFront, InsertionOrderInvariance)
+{
+    Rng rng(0xbeefull);
+    for (int trial = 0; trial < 50; ++trial) {
+        auto points = randomPoints(rng, 30, 2);
+
+        ParetoFront first(2);
+        for (const auto &p : points)
+            first.insert(p);
+
+        for (int perm = 0; perm < 4; ++perm) {
+            shuffle(points, rng);
+            ParetoFront again(2);
+            for (const auto &p : points)
+                again.insert(p);
+            expectSameFront(again.points(), first.points());
+        }
+    }
+}
+
+TEST(ParetoFront, CoversWeakDominanceWithTolerance)
+{
+    ParetoFront front(2);
+    front.insert({{1.0, 4.0}, "a", {}});
+    front.insert({{3.0, 2.0}, "b", {}});
+
+    EXPECT_TRUE(front.covers({1.0, 4.0}));   // on the front
+    EXPECT_TRUE(front.covers({2.0, 5.0}));   // dominated by "a"
+    EXPECT_FALSE(front.covers({2.0, 3.0}));  // beats both somewhere
+    EXPECT_TRUE(front.covers({2.0, 3.0}, 1.0));  // ... within tolerance
+    EXPECT_FALSE(front.covers({0.5, 0.5}));  // dominates the front
+}
+
+TEST(ParetoFront, Hypervolume2dStaircase)
+{
+    ParetoFront front(2);
+    EXPECT_EQ(front.hypervolume2d(10.0, 10.0), 0.0);
+
+    front.insert({{2.0, 6.0}, "a", {}});
+    front.insert({{4.0, 4.0}, "b", {}});
+    // Staircase vs (10, 10): (10-2)*(10-6) + (10-4)*(6-4) = 32 + 12.
+    EXPECT_DOUBLE_EQ(front.hypervolume2d(10.0, 10.0), 44.0);
+
+    // A point outside the reference box contributes nothing.
+    front.insert({{12.0, 1.0}, "c", {}});
+    EXPECT_DOUBLE_EQ(front.hypervolume2d(10.0, 10.0), 44.0);
+
+    ParetoFront three(3);
+    EXPECT_THROW(three.hypervolume2d(1.0, 1.0), ConfigError);
+}
+
+TEST(ParetoFront, ToJsonSortedAndComplete)
+{
+    ParetoFront front(2);
+    front.insert({{3.0, 1.0}, "late", {}});
+    front.insert({{1.0, 3.0}, "early", {}});
+
+    const auto j = front.toJson();
+    ASSERT_EQ(j.size(), 2u);
+    EXPECT_EQ(j.at(0).find("id")->asString(), "early");
+    EXPECT_EQ(j.at(1).find("id")->asString(), "late");
+    EXPECT_EQ(j.at(0).find("objectives")->at(0).asDouble(), 1.0);
+}

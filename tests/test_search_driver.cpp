@@ -1,0 +1,465 @@
+/**
+ * @file
+ * SearchDriver tests: the resumable, cached successive-halving search.
+ *
+ * The load-bearing contracts, each pinned here:
+ *  - same seed => bit-identical Pareto front and journal bytes;
+ *  - a budget-stopped ("killed") run resumed from its own journal
+ *    reproduces the cold run's front and journal byte-for-byte;
+ *  - a warm-cache second run performs ZERO network evaluations
+ *    (asserted through the CounterRegistry) yet returns the same front;
+ *  - on a closed-form synthetic objective whose rung error respects the
+ *    declared slack, successive halving never discards a true
+ *    full-fidelity Pareto point (checked against brute force).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/fatal.hpp"
+#include "common/rng.hpp"
+#include "search/driver.hpp"
+
+using dvsnet::ConfigError;
+using dvsnet::CounterRegistry;
+using dvsnet::Cycle;
+using dvsnet::splitmix64;
+using dvsnet::network::ExperimentSpec;
+using dvsnet::network::PolicyKind;
+using dvsnet::network::RunResults;
+using dvsnet::search::applySearchSpec;
+using dvsnet::search::Candidate;
+using dvsnet::search::canonicalJson;
+using dvsnet::search::ParetoFront;
+using dvsnet::search::RungSpec;
+using dvsnet::search::SearchConfig;
+using dvsnet::search::SearchDriver;
+using dvsnet::search::SearchOutcome;
+using dvsnet::search::SearchSpec;
+using dvsnet::search::validateSearchSpec;
+
+namespace
+{
+
+std::string
+tmpPath(const std::string &name)
+{
+    return ::testing::TempDir() + "/" + name;
+}
+
+std::string
+fileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(static_cast<bool>(in)) << "cannot read " << path;
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+/** Closed-form objectives: higher TL_low trades latency for power. */
+void
+synthFullObjectives(const Candidate &c, double &latency, double &power)
+{
+    latency = 150.0 + 200.0 * c.tlLow + 40.0 * (c.tlHigh - c.tlLow) +
+              0.05 * static_cast<double>(c.freqLockCycles) +
+              5.0 * static_cast<double>(c.cooldown) - 2.0 * c.weight;
+    power = 2.0 - 1.8 * c.tlLow + 0.04 * c.weight +
+            0.3 * (c.tlHigh - c.tlLow);
+}
+
+constexpr double kSynthLatencyAmp = 5.0;
+constexpr double kSynthPowerAmp = 0.05;
+
+/**
+ * Synthetic evaluator: the closed form plus a seed-deterministic
+ * fidelity error that shrinks linearly to zero at the full measurement
+ * window and never exceeds the amplitude — so rungs declaring the
+ * amplitudes as absolute slack satisfy the promotion rule exactly.
+ */
+SearchDriver::Evaluator
+synthEvaluator(Cycle fullMeasure)
+{
+    return [fullMeasure](const ExperimentSpec &spec, double,
+                         std::uint64_t seed) {
+        Candidate c;
+        c.tlLow = spec.network.policyParams.tlLow;
+        c.tlHigh = spec.network.policyParams.tlHigh;
+        c.weight = spec.network.policyParams.weight;
+        c.cooldown = spec.network.policyCooldown;
+        c.freqLockCycles = spec.network.link.freqTransitionLinkCycles;
+
+        double latency = 0.0, power = 0.0;
+        synthFullObjectives(c, latency, power);
+
+        const double frac =
+            1.0 - static_cast<double>(spec.measure) /
+                      static_cast<double>(fullMeasure);
+        std::uint64_t state = seed;
+        const double u1 =
+            static_cast<double>(splitmix64(state) >> 11) / 9007199254740992.0;
+        const double u2 =
+            static_cast<double>(splitmix64(state) >> 11) / 9007199254740992.0;
+        latency += kSynthLatencyAmp * frac * (2.0 * u1 - 1.0);
+        power += kSynthPowerAmp * frac * (2.0 * u2 - 1.0);
+
+        RunResults r;
+        r.measuredCycles = spec.measure;
+        r.avgLatencyCycles = latency;
+        r.avgPowerW = power;
+        r.totalEnergyJ =
+            power * static_cast<double>(spec.measure) * 1e-9;
+        return r;
+    };
+}
+
+/** Synthetic-objective search over a sampled candidate cloud. */
+SearchConfig
+synthConfig(std::uint64_t seed)
+{
+    SearchConfig config;
+    config.base.network.radix = 4;
+    config.base.warmup = 1000;
+    config.base.measure = 50000;
+    config.seed = seed;
+    config.randomCandidates = 24;
+
+    for (Cycle measure : {Cycle{5000}, Cycle{20000}, Cycle{50000}}) {
+        RungSpec rung;
+        rung.warmup = 1000;
+        rung.measure = measure;
+        rung.slackLatency = kSynthLatencyAmp;
+        rung.slackPower = kSynthPowerAmp;
+        config.rungs.push_back(rung);
+    }
+    return config;
+}
+
+SearchOutcome
+runSynth(SearchConfig config, CounterRegistry *registry = nullptr)
+{
+    SearchDriver driver(std::move(config), registry);
+    driver.setEvaluator(synthEvaluator(driver.config().base.measure));
+    return driver.run();
+}
+
+/** Real-network search small enough for the test suite. */
+SearchConfig
+realConfig()
+{
+    SearchConfig config;
+    config.base.network.radix = 4;
+    config.base.workload.avgConcurrentTasks = 10;
+    config.base.workload.meanTaskDurationCycles = 2e4;
+    config.base.workload.sourcesPerTask = 16;
+    config.base.warmup = 1000;
+    config.base.measure = 3000;
+    config.injectionRate = 0.4;
+    config.randomCandidates = 0;
+    config.threads = 1;
+
+    Candidate a;  // paper default thresholds
+    Candidate b;
+    b.tlLow = 0.15;
+    b.tlHigh = 0.25;
+    Candidate c;
+    c.tlLow = 0.45;
+    c.tlHigh = 0.6;
+    c.cooldown = 2;
+    config.seeded = {a, b, c};
+
+    RungSpec quick;
+    quick.warmup = 500;
+    quick.measure = 1000;
+    RungSpec full;
+    full.warmup = 1000;
+    full.measure = 3000;
+    config.rungs = {quick, full};
+    return config;
+}
+
+std::vector<std::vector<double>>
+frontObjectives(const ParetoFront &front)
+{
+    std::vector<std::vector<double>> out;
+    for (const auto &p : front.points())
+        out.push_back(p.objectives);
+    return out;
+}
+
+} // namespace
+
+TEST(SearchSpec, GrammarRoundTrip)
+{
+    const auto spec = SearchSpec::parse(
+        "successive-halving:candidates=32,rungs=4,step=3,slack=0.1");
+    EXPECT_EQ(spec.name, "successive-halving");
+    ASSERT_EQ(spec.params.size(), 4u);
+    EXPECT_EQ(*spec.find("candidates"), "32");
+    EXPECT_EQ(spec.find("missing"), nullptr);
+    EXPECT_EQ(spec.toString(),
+              "successive-halving:candidates=32,rungs=4,step=3,slack=0.1");
+
+    EXPECT_THROW(SearchSpec::parse(""), ConfigError);
+    EXPECT_THROW(SearchSpec::parse("successive-halving:oops"),
+                 ConfigError);
+    EXPECT_THROW(SearchSpec::parse("successive-halving:=3"), ConfigError);
+}
+
+TEST(SearchSpec, ValidateRejectsUnknownNamesAndKeys)
+{
+    EXPECT_TRUE(validateSearchSpec("successive-halving").empty());
+    EXPECT_TRUE(
+        validateSearchSpec("successive-halving:budget=100").empty());
+
+    const auto unknownName = validateSearchSpec("grid");
+    ASSERT_EQ(unknownName.size(), 1u);
+    EXPECT_NE(unknownName[0].find("unknown search strategy 'grid'"),
+              std::string::npos);
+    EXPECT_NE(unknownName[0].find("successive-halving"),
+              std::string::npos);
+
+    const auto unknownKey =
+        validateSearchSpec("successive-halving:bogus=1");
+    ASSERT_EQ(unknownKey.size(), 1u);
+    EXPECT_NE(unknownKey[0].find("unknown key 'bogus'"),
+              std::string::npos);
+    EXPECT_NE(unknownKey[0].find("candidates"), std::string::npos);
+}
+
+TEST(SearchSpec, ApplyBuildsGeometricLadder)
+{
+    SearchConfig config;
+    config.base.warmup = 20000;
+    config.base.measure = 150000;
+
+    applySearchSpec(config, SearchSpec::parse(
+        "successive-halving:candidates=12,rungs=3,step=5,slack=0.2,"
+        "budget=40"));
+    EXPECT_EQ(config.randomCandidates, 12u);
+    EXPECT_EQ(config.maxNetworkEvals, 40u);
+    ASSERT_EQ(config.rungs.size(), 3u);
+    EXPECT_EQ(config.rungs[0].measure, Cycle{6000});   // 150000 / 25
+    EXPECT_EQ(config.rungs[1].measure, Cycle{30000});  // 150000 / 5
+    EXPECT_EQ(config.rungs[2].measure, Cycle{150000});
+    // Warm-up is never truncated: it absorbs the DVS transient, so a
+    // shorter warm-up would measure a different steady state.
+    EXPECT_EQ(config.rungs[0].warmup, Cycle{20000});
+    EXPECT_EQ(config.rungs[1].warmup, Cycle{20000});
+    EXPECT_EQ(config.rungs[2].warmup, Cycle{20000});
+    EXPECT_DOUBLE_EQ(config.rungs[1].slackFraction, 0.2);
+
+    EXPECT_THROW(applySearchSpec(
+                     config, SearchSpec::parse("successive-halving:"
+                                               "step=0.5")),
+                 ConfigError);
+    EXPECT_THROW(applySearchSpec(
+                     config, SearchSpec::parse("successive-halving:"
+                                               "rungs=0")),
+                 ConfigError);
+    EXPECT_THROW(applySearchSpec(config, SearchSpec::parse("grid")),
+                 ConfigError);
+}
+
+TEST(SearchConfigTest, ValidateCatchesNonsense)
+{
+    SearchConfig config = synthConfig(1);
+    config.rungs.clear();
+    config.randomCandidates = 0;
+    config.injectionRate = -1.0;
+    const auto problems = config.validate();
+    EXPECT_GE(problems.size(), 3u);
+    EXPECT_THROW(SearchDriver{config}, ConfigError);
+}
+
+TEST(SearchDriverTest, CandidateSetDeterministicAndDeduped)
+{
+    SearchConfig config = synthConfig(7);
+    Candidate dup;  // defaults, listed twice: must collapse to one
+    config.seeded = {dup, dup};
+
+    const auto first = SearchDriver::candidateSet(config);
+    const auto second = SearchDriver::candidateSet(config);
+    ASSERT_EQ(first.size(), second.size());
+    EXPECT_EQ(first.size(), 1 + config.randomCandidates);
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        EXPECT_EQ(canonicalJson(first[i].toJson()).dump(),
+                  canonicalJson(second[i].toJson()).dump());
+        EXPECT_LT(first[i].tlLow, first[i].tlHigh);
+    }
+}
+
+TEST(SearchDriverTest, SameSeedBitIdenticalFrontAndJournal)
+{
+    SearchConfig config = synthConfig(42);
+    config.journalPath = tmpPath("search_journal_a.jsonl");
+    const SearchOutcome a = runSynth(config);
+
+    config.journalPath = tmpPath("search_journal_b.jsonl");
+    const SearchOutcome b = runSynth(config);
+
+    EXPECT_TRUE(a.completed);
+    EXPECT_TRUE(b.completed);
+    EXPECT_FALSE(a.front.empty());
+    EXPECT_EQ(a.front.toJson().dump(), b.front.toJson().dump());
+    ASSERT_EQ(a.journal.size(), b.journal.size());
+    EXPECT_EQ(fileBytes(tmpPath("search_journal_a.jsonl")),
+              fileBytes(tmpPath("search_journal_b.jsonl")));
+}
+
+TEST(SearchDriverTest, NeverDiscardsTrueParetoPoint)
+{
+    bool sawCulling = false;
+    for (std::uint64_t seed : {11ull, 23ull, 99ull, 1234ull}) {
+        const SearchConfig config = synthConfig(seed);
+        const SearchOutcome outcome = runSynth(config);
+        ASSERT_TRUE(outcome.completed);
+        sawCulling = sawCulling || outcome.culled > 0;
+
+        // Brute force: the true front of every candidate's closed-form
+        // full-fidelity objectives (zero fidelity error at the last
+        // rung, so searched values match the closed form exactly).
+        ParetoFront truth(2);
+        for (std::size_t i = 0; i < outcome.candidates.size(); ++i) {
+            double latency = 0.0, power = 0.0;
+            synthFullObjectives(outcome.candidates[i], latency, power);
+            truth.insert({{latency, power}, std::to_string(i), {}});
+        }
+        EXPECT_EQ(frontObjectives(outcome.front), frontObjectives(truth))
+            << "seed " << seed;
+    }
+    // The property must not hold vacuously: at least one run has to
+    // have actually terminated candidates early.
+    EXPECT_TRUE(sawCulling);
+}
+
+TEST(SearchDriverTest, SuccessiveHalvingSavesFullEvaluations)
+{
+    const SearchOutcome outcome = runSynth(synthConfig(42));
+    ASSERT_TRUE(outcome.completed);
+    EXPECT_GT(outcome.culled, 0u);
+    EXPECT_LT(outcome.networkEvalsFull, outcome.candidates.size());
+    EXPECT_EQ(outcome.finalSurvivors.size() + outcome.culled,
+              outcome.candidates.size());
+}
+
+TEST(SearchDriverTest, KilledRunResumesToIdenticalFrontAndJournal)
+{
+    // Cold reference: unlimited budget.
+    SearchConfig config = synthConfig(777);
+    config.journalPath = tmpPath("search_cold.jsonl");
+    const SearchOutcome cold = runSynth(config);
+    ASSERT_TRUE(cold.completed);
+
+    // "Kill" after the first rung: budget == candidate count, so rung 0
+    // exactly exhausts it and rung 1 stops at the boundary.
+    const std::size_t count = SearchDriver::candidateSet(config).size();
+    config.journalPath = tmpPath("search_killed.jsonl");
+    config.maxNetworkEvals = count;
+    const SearchOutcome killed = runSynth(config);
+    EXPECT_FALSE(killed.completed);
+    EXPECT_EQ(killed.networkEvals, count);
+    EXPECT_LT(killed.journal.size(), cold.journal.size());
+    EXPECT_TRUE(killed.front.empty());
+
+    // Resume from the killed journal, rewriting it in place — the
+    // classic `--resume <journal>` flow.
+    config.maxNetworkEvals = 0;
+    config.warmJournals = {config.journalPath};
+    CounterRegistry registry;
+    const SearchOutcome resumed = runSynth(config, &registry);
+    ASSERT_TRUE(resumed.completed);
+    EXPECT_GT(registry.counterValue("search.cache_hits"), 0u);
+    EXPECT_LT(resumed.networkEvals, cold.networkEvals);
+    EXPECT_EQ(resumed.front.toJson().dump(), cold.front.toJson().dump());
+    EXPECT_EQ(fileBytes(tmpPath("search_killed.jsonl")),
+              fileBytes(tmpPath("search_cold.jsonl")));
+}
+
+TEST(SearchDriverTest, TornJournalTailIsDiscardedOnResume)
+{
+    SearchConfig config = synthConfig(5);
+    config.journalPath = tmpPath("search_torn.jsonl");
+    const SearchOutcome cold = runSynth(config);
+    ASSERT_TRUE(cold.completed);
+
+    // Chop the last record in half — what a SIGKILL mid-write leaves.
+    const std::string bytes = fileBytes(config.journalPath);
+    std::ofstream out(config.journalPath,
+                      std::ios::binary | std::ios::trunc);
+    out << bytes.substr(0, bytes.size() - 40);
+    out.close();
+
+    config.warmJournals = {config.journalPath};
+    const SearchOutcome resumed = runSynth(config);
+    ASSERT_TRUE(resumed.completed);
+    EXPECT_EQ(resumed.front.toJson().dump(), cold.front.toJson().dump());
+    EXPECT_EQ(fileBytes(config.journalPath), bytes);
+}
+
+TEST(SearchDriverTest, WarmCacheSecondRunDoesZeroNetworkEvals)
+{
+    // Real network end-to-end: small mesh, tiny windows, two rungs.
+    SearchConfig config = realConfig();
+    config.journalPath = tmpPath("search_real.jsonl");
+
+    CounterRegistry coldCounters;
+    SearchDriver cold(config, &coldCounters);
+    const SearchOutcome first = cold.run();
+    ASSERT_TRUE(first.completed);
+    EXPECT_FALSE(first.front.empty());
+    EXPECT_GT(coldCounters.counterValue("search.network_evals"), 0u);
+    const std::string coldBytes = fileBytes(config.journalPath);
+
+    config.warmJournals = {config.journalPath};
+    CounterRegistry warmCounters;
+    SearchDriver warm(config, &warmCounters);
+    const SearchOutcome second = warm.run();
+    ASSERT_TRUE(second.completed);
+
+    // The satellite contract: a warmed re-run simulates NOTHING.
+    EXPECT_EQ(warmCounters.counterValue("search.network_evals"), 0u);
+    EXPECT_EQ(warmCounters.counterValue("search.cache_hits"),
+              first.journal.size());
+    EXPECT_EQ(second.front.toJson().dump(), first.front.toJson().dump());
+    EXPECT_EQ(fileBytes(config.journalPath), coldBytes);
+}
+
+TEST(SearchDriverTest, EvaluateFullMatchesSearchLastRung)
+{
+    SearchConfig config = synthConfig(42);
+    CounterRegistry registry;
+    SearchDriver driver(config, &registry);
+    driver.setEvaluator(synthEvaluator(config.base.measure));
+    const SearchOutcome outcome = driver.run();
+    ASSERT_TRUE(outcome.completed);
+    ASSERT_FALSE(outcome.finalSurvivors.empty());
+
+    // A survivor's full evaluation is already cached: same key, same
+    // bits, zero extra network evaluations.
+    const std::uint64_t evalsBefore =
+        registry.counterValue("search.network_evals");
+    const auto rec = driver.evaluateFull(
+        outcome.candidates[outcome.finalSurvivors.front()]);
+    EXPECT_EQ(registry.counterValue("search.network_evals"), evalsBefore);
+    EXPECT_TRUE(outcome.front.covers(rec.objectives()));
+
+    // A config the search culled early still evaluates deterministically
+    // through the same derivation (twice -> one miss, then one hit).
+    Candidate fresh;
+    fresh.tlLow = 0.111;
+    fresh.tlHigh = 0.222;
+    fresh.weight = 1.5;
+    const auto miss = driver.evaluateFull(fresh);
+    const auto hit = driver.evaluateFull(fresh);
+    EXPECT_EQ(registry.counterValue("search.network_evals"),
+              evalsBefore + 1);
+    EXPECT_EQ(miss.key, hit.key);
+    EXPECT_EQ(miss.results.avgLatencyCycles,
+              hit.results.avgLatencyCycles);
+}
